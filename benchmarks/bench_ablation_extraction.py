@@ -1,0 +1,18 @@
+"""Ablation benchmark: dCAM extraction rule (variance × mean vs alternatives)."""
+
+from repro.experiments import EXTRACTION_VARIANTS, run_extraction_ablation
+
+
+def bench_extraction_ablation(bench_scale, emit):
+    result = run_extraction_ablation(bench_scale)
+    emit("ablation_extraction", result.format("Ablation — dCAM extraction rule (Dr-acc)"))
+    return result
+
+
+def test_extraction_ablation(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_extraction_ablation, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    assert result.rows
+    for row in result.rows:
+        for variant in EXTRACTION_VARIANTS:
+            assert 0.0 <= row[variant] <= 1.0

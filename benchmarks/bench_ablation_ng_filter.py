@@ -1,0 +1,18 @@
+"""Ablation benchmark: averaging all permutations vs only correctly-classified ones."""
+
+from repro.experiments import run_ng_filter_ablation
+
+
+def bench_ng_filter_ablation(bench_scale, emit):
+    result = run_ng_filter_ablation(bench_scale)
+    emit("ablation_ng_filter", result.format("Ablation — permutation filtering by n_g (Dr-acc)"))
+    return result
+
+
+def test_ng_filter_ablation(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_ng_filter_ablation, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    assert result.rows
+    for row in result.rows:
+        assert 0.0 <= row["all_permutations"] <= 1.0
+        assert 0.0 <= row["only_correct"] <= 1.0

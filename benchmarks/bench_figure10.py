@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 10: influence of the number of permutations k."""
+
+from repro.experiments import run_figure10
+
+
+def bench_figure10(bench_scale, emit):
+    result = run_figure10(bench_scale)
+    emit("figure10", result.format())
+    return result
+
+
+def test_figure10(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_figure10, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    assert result.curves, "Figure 10 produced no curves"
+    needed = result.permutations_to_reach(0.9)
+    for key, curve in result.curves.items():
+        assert len(curve) == len(result.k_values)
+        assert all(0.0 <= value <= 1.0 for value in curve)
+        assert needed[key] in result.k_values

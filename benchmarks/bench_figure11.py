@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 11: C-acc vs Dr-acc vs ng/k relations."""
+
+from repro.experiments import run_figure11
+
+
+def bench_figure11(bench_scale, emit):
+    result = run_figure11(bench_scale)
+    emit("figure11", result.format())
+    return result
+
+
+def test_figure11(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_figure11, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    assert result.points, "Figure 11 produced no points"
+    for point in result.points:
+        assert 0.0 <= point.c_acc <= 1.0
+        assert 0.0 <= point.dr_acc <= 1.0
+        assert 0.0 <= point.success_ratio <= 1.0

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 12: training and dCAM execution time."""
+
+from repro.experiments import run_figure12
+
+
+def bench_figure12(bench_scale, emit):
+    result = run_figure12(bench_scale)
+    emit("figure12", result.format())
+    return result
+
+
+def test_figure12(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_figure12, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    # Every timing series is positive.
+    for series in (result.epoch_time_vs_length, result.epoch_time_vs_dimensions,
+                   result.dcam_time_vs_dimensions, result.dcam_time_vs_length,
+                   result.dcam_time_vs_k):
+        for values in series.values():
+            assert all(value > 0 for value in values)
+    # dCAM time is (weakly) increasing with the number of permutations k.
+    for values in result.dcam_time_vs_k.values():
+        assert values[-1] >= values[0]
+    assert result.convergence

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 13: the surgeon-skill explanation use case."""
+
+from repro.experiments import run_figure13
+
+
+def bench_figure13(bench_scale, emit):
+    result = run_figure13(bench_scale)
+    emit("figure13", result.format())
+    return result
+
+
+def test_figure13(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_figure13, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    assert 0.0 <= result.train_accuracy <= 1.0
+    assert 0.0 <= result.test_accuracy <= 1.0
+    assert result.max_activation.shape[1] == 76
+    assert len(result.per_gesture_activation) == 11
+    assert result.top_sensors and result.top_gestures

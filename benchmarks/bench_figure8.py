@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 8: d-architectures vs counterparts (scatter)."""
+
+from repro.experiments import run_figure8
+
+DATASETS = ["BasicMotions", "RacketSports", "PenDigits"]
+
+
+def bench_figure8(bench_scale, emit):
+    result = run_figure8(bench_scale, dataset_names=DATASETS)
+    emit("figure8", result.format())
+    return result
+
+
+def test_figure8(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_figure8, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    assert result.points, "Figure 8 produced no comparison points"
+    for (d_model, baseline), points in result.points.items():
+        assert len(points) == len(DATASETS)
+        assert 0 <= result.wins(d_model, baseline) <= len(points)

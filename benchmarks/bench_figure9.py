@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 9: C-acc / Dr-acc vs number of dimensions."""
+
+from repro.experiments import run_figure9
+
+
+def bench_figure9(bench_scale, emit):
+    result = run_figure9(bench_scale)
+    emit("figure9", result.format())
+    return result
+
+
+def test_figure9(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_figure9, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    for dataset_type in (1, 2):
+        c_series = result.series("c_acc", dataset_type)
+        dr_series = result.series("dr_acc", dataset_type)
+        for model in result.models:
+            assert len(c_series[model]) == len(result.dimensions)
+            assert all(0.0 <= v <= 1.0 for v in c_series[model])
+            assert all(0.0 <= v <= 1.0 for v in dr_series[model])
+    harmonic = result.harmonic_series("c_acc")
+    assert set(harmonic) == set(result.models)

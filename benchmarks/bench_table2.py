@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table 2: C-acc over (simulated) UCR/UEA datasets."""
+
+from repro.experiments import run_table2
+
+DATASETS = ["BasicMotions", "RacketSports", "Epilepsy", "PenDigits", "LSST"]
+
+
+def bench_table2(bench_scale, emit):
+    result = run_table2(bench_scale, dataset_names=DATASETS)
+    emit("table2", result.format())
+    return result
+
+
+def test_table2(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_table2, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    # Sanity of the regenerated table: every requested dataset and model present.
+    assert set(result.accuracies) == set(DATASETS)
+    assert all(0.0 <= value <= 1.0
+               for scores in result.accuracies.values() for value in scores.values())

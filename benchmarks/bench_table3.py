@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table 3: C-acc and Dr-acc on synthetic datasets."""
+
+from repro.experiments import run_table3
+
+
+def bench_table3(bench_scale, emit):
+    result = run_table3(bench_scale)
+    emit("table3", result.format())
+    return result
+
+
+def test_table3(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(bench_table3, args=(bench_scale, emit),
+                                rounds=1, iterations=1)
+    assert result.rows, "Table 3 produced no rows"
+    for row in result.rows:
+        assert set(row.c_acc) == set(result.models)
+        assert set(row.dr_acc) == set(result.models)
+        assert 0.0 <= row.random_dr_acc <= 1.0
+        # the explanation methods should not be *worse* than random on average
+        best_dr = max(row.dr_acc.values())
+        assert best_dr >= row.random_dr_acc * 0.5

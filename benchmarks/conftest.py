@@ -1,0 +1,51 @@
+"""Shared configuration of the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the ``tiny``
+experiment scale (so the whole harness completes in minutes on a CPU) and
+writes the formatted rows/series to ``benchmarks/results/<name>.txt`` in
+addition to printing them, so the regenerated artefacts survive pytest's
+output capturing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``--repro-scale=small`` (or ``paper``) to regenerate at a larger scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-scale", action="store", default="tiny",
+                     choices=["tiny", "small", "paper"],
+                     help="experiment scale used by the dCAM reproduction benchmarks")
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    """The experiment scale shared by every benchmark."""
+    return get_scale(request.config.getoption("--repro-scale"), random_state=0)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a regenerated artefact to benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _emit

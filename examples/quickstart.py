@@ -1,0 +1,71 @@
+"""Quickstart: train a dCNN and explain a classification with dCAM.
+
+This example builds a small synthetic multivariate dataset in which class 2
+differs from class 1 only by two patterns injected into two random dimensions,
+trains a dCNN classifier, and uses dCAM to find which dimensions and which
+time windows drove the decision.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import compute_dcam
+from repro.data import SyntheticConfig, make_type1_dataset
+from repro.eval import dr_acc, random_baseline_dr_acc
+from repro.models import DCNNClassifier, TrainingConfig
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build a synthetic dataset with known discriminant features.
+    # ------------------------------------------------------------------
+    config = SyntheticConfig(seed_name="starlight", n_dimensions=5,
+                             n_instances_per_class=20, series_length=64,
+                             seed_instance_length=32, pattern_length=16,
+                             random_state=5)
+    dataset = make_type1_dataset(config)
+    print(dataset.summary())
+
+    # ------------------------------------------------------------------
+    # 2. Train a dCNN (the paper's cube-input architecture).
+    # ------------------------------------------------------------------
+    model = DCNNClassifier(dataset.n_dimensions, dataset.length, dataset.n_classes,
+                           filters=(8, 16, 16), rng=np.random.default_rng(0))
+    history = model.fit(dataset.X, dataset.y,
+                        config=TrainingConfig(epochs=25, batch_size=8,
+                                              learning_rate=3e-3, random_state=0))
+    print(f"trained for {history.epochs_run} epochs, "
+          f"training accuracy = {model.score(dataset.X, dataset.y):.2f}")
+
+    # ------------------------------------------------------------------
+    # 3. Explain one instance of the injected class with dCAM.
+    # ------------------------------------------------------------------
+    index = int(np.flatnonzero(dataset.y == 1)[-1])
+    series = dataset.X[index]
+    result = compute_dcam(model, series, class_id=1, k=32,
+                          rng=np.random.default_rng(1))
+    print(f"dCAM shape: {result.dcam.shape}  (dimensions x time)")
+    print(f"permutation success ratio n_g/k = {result.success_ratio:.2f} "
+          "(label-free proxy of explanation quality)")
+
+    # Which dimension / time window does dCAM point to?
+    flat_index = int(np.argmax(result.dcam))
+    dimension, timestamp = np.unravel_index(flat_index, result.dcam.shape)
+    print(f"strongest activation: dimension {dimension}, around timestamp {timestamp}")
+
+    truth = dataset.ground_truth[index]
+    injected_dims = np.flatnonzero(truth.sum(axis=1) > 0)
+    print(f"ground truth: patterns injected into dimensions {injected_dims.tolist()}")
+
+    score = dr_acc(result.dcam, truth)
+    baseline = random_baseline_dr_acc(truth)
+    print(f"Dr-acc (PR-AUC) of dCAM = {score:.3f}  vs random baseline = {baseline:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Compare CAM, cCAM, dCAM and MTEX-grad on Type 1 and Type 2 benchmarks.
+
+This example reproduces the core comparison of the paper (Section 5.4) at a
+small scale: on *Type 1* data the discriminant patterns live in single
+dimensions (so even cCAM does well), while on *Type 2* data the discriminant
+factor is the temporal alignment of patterns across two dimensions — which
+only dCAM can localise, because only the d-architectures compare dimensions.
+
+Run with::
+
+    python examples/synthetic_discriminant_discovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import cam_as_multivariate, class_activation_map, compute_dcam, mtex_explanation
+from repro.data import SyntheticConfig, make_dataset
+from repro.eval import dr_acc, random_baseline_dr_acc
+from repro.models import TrainingConfig, create_model
+
+ARCHITECTURES = {
+    "ResNet (CAM)": ("resnet", {"filters": (8, 16, 16)}),
+    "cCNN (cCAM)": ("ccnn", {"filters": (8, 16, 16)}),
+    "MTEX-CNN (grad-CAM)": ("mtex", {"block1_filters": (4, 8), "block2_filters": 8,
+                                     "hidden_units": 16}),
+    "dCNN (dCAM)": ("dcnn", {"filters": (8, 16, 16)}),
+}
+
+TRAINING = TrainingConfig(epochs=35, batch_size=8, learning_rate=3e-3, random_state=0)
+
+
+def explanation_of(model, name, series, class_id):
+    """Dispatch to the explanation method of each architecture family."""
+    if name == "dcnn":
+        return compute_dcam(model, series, class_id, k=24,
+                            rng=np.random.default_rng(0)).dcam
+    if name == "mtex":
+        return mtex_explanation(model, series, class_id)
+    cam = class_activation_map(model, series, class_id)
+    if cam.ndim == 1:
+        cam = cam_as_multivariate(cam, series.shape[0])
+    return cam
+
+
+def evaluate(dataset_type: int) -> None:
+    config = SyntheticConfig(seed_name="starlight", n_dimensions=6,
+                             n_instances_per_class=20, series_length=64,
+                             seed_instance_length=32, pattern_length=16,
+                             random_state=7)
+    train = make_dataset(dataset_type, config)
+    test = make_dataset(dataset_type, SyntheticConfig(**{**config.__dict__,
+                                                         "random_state": 77,
+                                                         "n_instances_per_class": 6}))
+    print(f"\n=== Type {dataset_type} dataset "
+          f"({'different' if dataset_type == 1 else 'same'}-timestamp injections) ===")
+    explained = [i for i in range(len(test)) if test.y[i] == 1][:4]
+    baseline = np.mean([random_baseline_dr_acc(test.ground_truth[i]) for i in explained])
+    print(f"{'architecture':24s} {'C-acc':>6s} {'Dr-acc':>7s}   (random baseline {baseline:.3f})")
+    for label, (name, kwargs) in ARCHITECTURES.items():
+        model = create_model(name, train.n_dimensions, train.length, train.n_classes,
+                             rng=np.random.default_rng(0), **kwargs)
+        model.fit(train.X, train.y, config=TRAINING)
+        c_acc = model.score(test.X, test.y)
+        scores = [dr_acc(explanation_of(model, name, test.X[i], 1), test.ground_truth[i])
+                  for i in explained]
+        print(f"{label:24s} {c_acc:6.2f} {np.mean(scores):7.3f}")
+
+
+def main() -> None:
+    for dataset_type in (1, 2):
+        evaluate(dataset_type)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without network access.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` keeps working with the legacy (non-PEP-517) code path in
+fully offline environments where pip cannot create an isolated build
+environment.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""Dataset-level aggregation of dCAM explanations (Sections 4.6 and 5.8).
+
+When analysing a whole class of instances (e.g. every novice surgeon in the
+JIGSAWS use case), the paper computes dCAM for each instance independently and
+then aggregates the per-instance maps into global statistics:
+
+* the maximal activation per sensor/dimension (Figure 13(c)), and
+* the average activation per sensor and per gesture/segment (Figure 13(d)),
+
+which together reveal *which dimensions during which temporal segments*
+discriminate the class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .dcam import DCAMResult
+
+Segment = Tuple[str, int, int]
+
+
+def max_activation_per_dimension(results: Sequence[DCAMResult]) -> np.ndarray:
+    """Maximal dCAM activation per dimension, per instance.
+
+    Returns an array of shape ``(n_instances, D)`` — the data behind the
+    per-sensor box plots of Figure 13(c).
+    """
+    if not results:
+        raise ValueError("at least one dCAM result is required")
+    return np.stack([result.dcam.max(axis=1) for result in results])
+
+
+def mean_activation_per_dimension(results: Sequence[DCAMResult]) -> np.ndarray:
+    """Mean dCAM activation per dimension, averaged over instances (``(D,)``)."""
+    if not results:
+        raise ValueError("at least one dCAM result is required")
+    return np.stack([result.dcam.mean(axis=1) for result in results]).mean(axis=0)
+
+
+def activation_per_segment(result: DCAMResult, segments: Sequence[Segment]) -> Dict[str, np.ndarray]:
+    """Average activation per dimension inside each labelled temporal segment.
+
+    ``segments`` is a list of ``(label, start, end)``; segments sharing a label
+    (e.g. a gesture repeated several times) are averaged together.
+    """
+    sums: Dict[str, np.ndarray] = {}
+    counts: Dict[str, int] = {}
+    for label, start, end in segments:
+        if not 0 <= start < end <= result.length:
+            raise ValueError(f"segment {label!r} [{start}, {end}) outside the series")
+        segment_mean = result.dcam[:, start:end].mean(axis=1)
+        if label in sums:
+            sums[label] += segment_mean
+            counts[label] += 1
+        else:
+            sums[label] = segment_mean.copy()
+            counts[label] = 1
+    return {label: sums[label] / counts[label] for label in sums}
+
+
+def mean_activation_per_segment(results: Sequence[DCAMResult],
+                                segments_per_instance: Sequence[Sequence[Segment]]
+                                ) -> Dict[str, np.ndarray]:
+    """Average activation per dimension per segment label across instances.
+
+    This is the data behind Figure 13(d): e.g. the average dCAM activation of
+    every sensor during every gesture, over all novice-class instances.
+    """
+    if len(results) != len(segments_per_instance):
+        raise ValueError("results and segments_per_instance must align")
+    sums: Dict[str, np.ndarray] = {}
+    counts: Dict[str, int] = {}
+    for result, segments in zip(results, segments_per_instance):
+        per_segment = activation_per_segment(result, segments)
+        for label, values in per_segment.items():
+            if label in sums:
+                sums[label] += values
+                counts[label] += 1
+            else:
+                sums[label] = values.copy()
+                counts[label] = 1
+    return {label: sums[label] / counts[label] for label in sums}
+
+
+def top_discriminant_dimensions(results: Sequence[DCAMResult], top_k: int = 5) -> List[int]:
+    """Dimensions with the highest median maximal activation across instances."""
+    per_instance = max_activation_per_dimension(results)
+    medians = np.median(per_instance, axis=0)
+    order = np.argsort(medians)[::-1]
+    return order[:top_k].tolist()
+
+
+def top_discriminant_segments(results: Sequence[DCAMResult],
+                              segments_per_instance: Sequence[Sequence[Segment]],
+                              top_k: int = 3) -> List[Tuple[str, float]]:
+    """Segment labels ranked by their maximal per-dimension average activation."""
+    per_segment = mean_activation_per_segment(results, segments_per_instance)
+    scored = [(label, float(values.max())) for label, values in per_segment.items()]
+    scored.sort(key=lambda item: item[1], reverse=True)
+    return scored[:top_k]

@@ -1,0 +1,96 @@
+"""Class Activation Map (CAM) computation — Section 2.2 of the paper.
+
+The CAM of class ``C_j`` for an input ``T`` is ``Σ_m w_m^{C_j} A_m(T)`` where
+``A_m`` is the output of the last convolutional layer for kernel ``m`` and
+``w_m^{C_j}`` the dense-layer weight connecting kernel ``m`` (after global
+average pooling) to the class-``C_j`` neuron.
+
+* For the plain 1D architectures (CNN / ResNet / InceptionTime) the CAM is a
+  univariate series of length ``n`` — the paper's key limitation for
+  multivariate inputs.
+* For the c-architectures the CAM is a ``(D, n)`` map (cCAM).
+* For the d-architectures the same computation over the ``C(T)`` cube yields a
+  ``(D, n)`` map whose rows correspond to cube rows — the raw ingredient of
+  dCAM (see :mod:`repro.core.dcam`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Tensor
+
+
+def _check_model(model) -> None:
+    if not getattr(model, "supports_cam", False):
+        raise TypeError(
+            f"{type(model).__name__} does not end with GAP + dense and therefore "
+            "cannot produce a Class Activation Map"
+        )
+
+
+def class_activation_map(model: "ConvBackboneClassifier", series: np.ndarray, class_id: int,
+                         order: Optional[np.ndarray] = None,
+                         relu: bool = False) -> np.ndarray:
+    """Compute the CAM of ``class_id`` for one multivariate series.
+
+    Parameters
+    ----------
+    model:
+        A trained GAP-headed classifier.
+    series:
+        One multivariate series of shape ``(D, n)``.
+    class_id:
+        The class whose activation map is requested.
+    order:
+        Optional dimension permutation; only valid for the d-architectures
+        (forwarded to the cube construction).
+    relu:
+        If True, negative contributions are clipped to zero (the common CAM
+        visualisation convention).  The paper's Dr-acc uses the raw values, so
+        the default is False.
+
+    Returns
+    -------
+    cam:
+        ``(n,)`` for 1D architectures, ``(D, n)`` for c/d architectures (rows
+        of the ``C(T)`` cube for the d-architectures).
+    """
+    _check_model(model)
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2:
+        raise ValueError(f"series must be (D, n), got shape {series.shape}")
+    model.eval()
+    if model.input_kind == "cube":
+        prepared = model.prepare_input(series[None], order)
+    else:
+        if order is not None:
+            raise ValueError("dimension permutations only apply to d-architectures")
+        prepared = model.prepare_input(series[None])
+    features = model.features(prepared).data[0]  # (nf, n) or (nf, D, n)
+    weights = model.class_weights[class_id]  # (nf,)
+    cam = np.tensordot(weights, features, axes=(0, 0))
+    if relu:
+        cam = np.maximum(cam, 0.0)
+    return cam
+
+
+def cam_as_multivariate(cam: np.ndarray, n_dimensions: int) -> np.ndarray:
+    """Broadcast a univariate CAM to all dimensions.
+
+    The paper (Section 5.1.2) evaluates the Dr-acc of CNN/ResNet/InceptionTime
+    "by assuming that their (univariate) CAM values are the same for all
+    dimensions"; this helper implements that convention.
+    """
+    cam = np.asarray(cam)
+    if cam.ndim != 1:
+        raise ValueError("cam_as_multivariate expects a univariate CAM")
+    return np.tile(cam, (n_dimensions, 1))
+
+
+def predicted_class(model, series: np.ndarray) -> int:
+    """Convenience helper: class predicted for one series."""
+    series = np.asarray(series, dtype=np.float64)
+    return int(model.predict(series[None])[0])

@@ -1,0 +1,216 @@
+"""dCAM: Dimension-wise Class Activation Map (Section 4.4 of the paper).
+
+Given a trained d-architecture (dCNN / dResNet / dInceptionTime), dCAM
+
+1. draws ``k`` random permutations of the input dimensions (Section 4.4.1),
+2. computes the CAM of the ``C(S_T)`` cube for each permutation and
+   re-indexes it by (original dimension, position-within-row) — the ``M``
+   transformation of Definition 2,
+3. averages the ``M`` transformations into ``M̄`` (Section 4.4.2), and
+4. extracts the final ``(D, n)`` map as the per-position variance of ``M̄``
+   multiplied by the average activation over all dimensions/positions
+   (Definition 3) — high variance across positions marks discriminant
+   subsequences, while the average filters out irrelevant temporal windows.
+
+The number ``n_g`` of permutations that the model classifies correctly is also
+recorded; ``n_g / k`` is the paper's label-free proxy for explanation quality
+(Sections 4.6 and 5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .input_transform import inverse_order, random_permutations
+
+__all__ = [
+    "DCAMResult",
+    "compute_dcam",
+    "compute_dcam_batch",
+    "merge_permutation_cams",
+    "extract_dcam",
+    "explanation_quality_proxy",
+]
+
+
+@dataclass
+class DCAMResult:
+    """Output of :func:`compute_dcam`.
+
+    Attributes
+    ----------
+    dcam:
+        The dimension-wise class activation map, shape ``(D, n)``.
+    m_bar:
+        The averaged ``M`` transformation ``M̄``, shape ``(D, D, n)`` indexed by
+        (original dimension, position within a cube row, time).
+    averaged_cam:
+        ``μ(M̄)`` per timestamp, shape ``(n,)`` — the approximation of the
+        standard (univariate) CAM described in Section 4.4.3.
+    class_id:
+        Class the map explains.
+    k:
+        Number of permutations evaluated.
+    n_correct:
+        ``n_g`` — how many permutations the model classified as ``class_id``.
+    """
+
+    dcam: np.ndarray
+    m_bar: np.ndarray
+    averaged_cam: np.ndarray
+    class_id: int
+    k: int
+    n_correct: int
+
+    @property
+    def success_ratio(self) -> float:
+        """``n_g / k``: the label-free proxy for explanation quality."""
+        return self.n_correct / self.k if self.k else 0.0
+
+    @property
+    def n_dimensions(self) -> int:
+        return self.dcam.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.dcam.shape[1]
+
+
+def _permutation_cam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: int,
+                     order: np.ndarray) -> tuple[np.ndarray, int]:
+    """CAM over the cube rows for one permutation, plus the predicted class."""
+    prepared = model.prepare_input(series[None], order)
+    features = model.features(prepared)
+    pooled = model.gap(features)
+    logits = model.classifier(pooled)
+    weights = model.class_weights[class_id]
+    cam_rows = np.tensordot(weights, features.data[0], axes=(0, 0))  # (D, n)
+    predicted = int(logits.data[0].argmax())
+    return cam_rows, predicted
+
+
+def _m_transform(cam_rows: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """The ``M`` transformation (Definition 2) for one permutation.
+
+    ``M[d, p, :]`` is the CAM row that contained original dimension ``d`` at
+    position ``p`` of the permuted cube ``C(S_T)``.
+    """
+    n_dimensions = cam_rows.shape[0]
+    slots = inverse_order(order)  # original dimension -> slot in the permuted series
+    positions = np.arange(n_dimensions)
+    # Row containing slot s at position p is (s - p) mod D.
+    rows = (slots[:, None] - positions[None, :]) % n_dimensions  # (D, D)
+    return cam_rows[rows]  # (D, D, n)
+
+
+def merge_permutation_cams(cams_and_orders: Sequence[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+    """Average the ``M`` transformations of several permutations into ``M̄``."""
+    if not cams_and_orders:
+        raise ValueError("at least one permutation CAM is required")
+    total = None
+    for cam_rows, order in cams_and_orders:
+        transformed = _m_transform(cam_rows, np.asarray(order))
+        total = transformed if total is None else total + transformed
+    return total / len(cams_and_orders)
+
+
+def extract_dcam(m_bar: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Definition 3: combine per-position variance with the global average.
+
+    Returns ``(dcam, averaged_cam)`` where ``dcam`` has shape ``(D, n)`` and
+    ``averaged_cam`` (``μ(M̄)``, shape ``(n,)``) approximates the standard CAM.
+    """
+    if m_bar.ndim != 3 or m_bar.shape[0] != m_bar.shape[1]:
+        raise ValueError("m_bar must have shape (D, D, n)")
+    n_dimensions = m_bar.shape[0]
+    averaged_cam = m_bar.sum(axis=(0, 1)) / (2.0 * n_dimensions)
+    variance_per_dimension = m_bar.var(axis=1)  # (D, n)
+    dcam = variance_per_dimension * averaged_cam[None, :]
+    return dcam, averaged_cam
+
+
+def compute_dcam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: int,
+                 k: int = 100, rng: Optional[np.random.Generator] = None,
+                 permutations: Optional[Sequence[np.ndarray]] = None,
+                 use_only_correct: bool = False) -> DCAMResult:
+    """Compute dCAM for one multivariate series.
+
+    Parameters
+    ----------
+    model:
+        A trained d-architecture (``input_kind == "cube"``).
+    series:
+        Multivariate series of shape ``(D, n)``.
+    class_id:
+        Class to explain (typically the predicted or ground-truth class).
+    k:
+        Number of random permutations (the paper uses ``k = 100``).
+    rng:
+        Random generator controlling the permutation draw.
+    permutations:
+        Explicit permutations to use instead of random ones (overrides ``k``).
+    use_only_correct:
+        If True, only permutations classified as ``class_id`` contribute to
+        ``M̄`` (falling back to all permutations when none is correct).
+    """
+    if getattr(model, "input_kind", None) != "cube":
+        raise TypeError(
+            f"dCAM requires a d-architecture (dCNN/dResNet/dInceptionTime); "
+            f"got {type(model).__name__}"
+        )
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2:
+        raise ValueError(f"series must be (D, n), got shape {series.shape}")
+    n_dimensions = series.shape[0]
+    model.eval()
+    if permutations is None:
+        permutations = random_permutations(n_dimensions, k, rng)
+    else:
+        permutations = [np.asarray(p) for p in permutations]
+    k = len(permutations)
+
+    collected: List[tuple[np.ndarray, np.ndarray]] = []
+    correct: List[tuple[np.ndarray, np.ndarray]] = []
+    n_correct = 0
+    for order in permutations:
+        cam_rows, predicted = _permutation_cam(model, series, class_id, order)
+        collected.append((cam_rows, order))
+        if predicted == class_id:
+            n_correct += 1
+            correct.append((cam_rows, order))
+
+    used = correct if (use_only_correct and correct) else collected
+    m_bar = merge_permutation_cams(used)
+    dcam, averaged_cam = extract_dcam(m_bar)
+    return DCAMResult(
+        dcam=dcam,
+        m_bar=m_bar,
+        averaged_cam=averaged_cam,
+        class_id=class_id,
+        k=k,
+        n_correct=n_correct,
+    )
+
+
+def compute_dcam_batch(model: "ConvBackboneClassifier", X: np.ndarray,
+                       class_ids: Sequence[int], k: int = 100,
+                       rng: Optional[np.random.Generator] = None,
+                       use_only_correct: bool = False) -> List[DCAMResult]:
+    """Compute dCAM for every series of a batch ``(instances, D, n)``."""
+    X = np.asarray(X, dtype=np.float64)
+    if len(X) != len(class_ids):
+        raise ValueError("X and class_ids must have the same length")
+    rng = rng or np.random.default_rng()
+    return [
+        compute_dcam(model, X[index], int(class_ids[index]), k=k, rng=rng,
+                     use_only_correct=use_only_correct)
+        for index in range(len(X))
+    ]
+
+
+def explanation_quality_proxy(result: DCAMResult) -> float:
+    """``n_g / k`` — usable without labels to estimate explanation quality."""
+    return result.success_ratio

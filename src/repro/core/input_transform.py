@@ -1,0 +1,131 @@
+"""Input data organisation for the dimension-wise architectures (Section 4.2).
+
+The dCNN / dResNet / dInceptionTime architectures do not consume the raw
+multivariate series ``T ∈ R^(D, n)``; they consume the cube ``C(T) ∈
+R^(D, D, n)`` in which every row contains *all* dimensions, each row using a
+different rotation of the dimension order, so that a given dimension is never
+at the same position in two different rows.
+
+With the convolutional layers of :mod:`repro.models`, the cube is presented as
+a 2D "image" of height ``D`` (the rows of ``C(T)``) and width ``n`` (time),
+with ``D`` channels (the dimensions at each position of a row).
+
+This module also provides the machinery for the random dimension permutations
+used by dCAM (Section 4.4.1): generating permutations, applying them, and
+mapping back from cube rows to (dimension, position) pairs — the ``idx``
+function of Definition 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def rotation_order(n_dimensions: int, shift: int) -> np.ndarray:
+    """Dimension order of row ``shift`` of the cube: rotate left by ``shift``."""
+    return (np.arange(n_dimensions) + shift) % n_dimensions
+
+
+def build_cube(series: np.ndarray, order: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Build ``C(T)`` for one multivariate series.
+
+    Parameters
+    ----------
+    series:
+        Array of shape ``(D, n)``.
+    order:
+        Optional permutation of the dimensions applied *before* building the
+        cube (``S_T`` in the paper).  ``order[k]`` is the original dimension
+        placed at slot ``k``.
+
+    Returns
+    -------
+    cube:
+        Array of shape ``(D, D, n)``: ``cube[row, position]`` is the dimension
+        at ``position`` in row ``row``, i.e. permuted dimension
+        ``(row + position) mod D``.
+    """
+    series = np.asarray(series)
+    if series.ndim != 2:
+        raise ValueError(f"series must be (D, n), got shape {series.shape}")
+    n_dimensions = series.shape[0]
+    if order is not None:
+        order = np.asarray(order)
+        if sorted(order.tolist()) != list(range(n_dimensions)):
+            raise ValueError("order must be a permutation of range(D)")
+        series = series[order]
+    rows = [series[rotation_order(n_dimensions, shift)] for shift in range(n_dimensions)]
+    return np.stack(rows)
+
+
+def build_cube_batch(batch: np.ndarray, order: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Vectorised :func:`build_cube` for a batch of shape ``(B, D, n)``.
+
+    Returns an array of shape ``(B, D_rows, D_channels, n)`` laid out so that
+    axis 1 indexes the cube rows and axis 2 the position within the row.  The
+    convolutional models expect channels on axis 1, so they transpose axes
+    1 and 2 internally (see :class:`repro.models.cnn.DCNNClassifier`).
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 3:
+        raise ValueError(f"batch must be (B, D, n), got shape {batch.shape}")
+    n_dimensions = batch.shape[1]
+    if order is not None:
+        order = np.asarray(order)
+        batch = batch[:, order, :]
+    rows = [batch[:, rotation_order(n_dimensions, shift), :] for shift in range(n_dimensions)]
+    return np.stack(rows, axis=1)
+
+
+def row_for_slot(slot: int, position: int, n_dimensions: int) -> int:
+    """Row of the cube holding permuted slot ``slot`` at ``position``.
+
+    Row ``i`` places permuted slot ``(i + p) mod D`` at position ``p``; hence
+    the row containing slot ``slot`` at position ``position`` is
+    ``(slot - position) mod D``.
+    """
+    return int((slot - position) % n_dimensions)
+
+
+def idx(original_dimension: int, position: int, order: Optional[Sequence[int]],
+        n_dimensions: int) -> int:
+    """The ``idx`` function of Definition 1.
+
+    Returns the row index of ``C(S_T)`` that contains ``T^(original_dimension)``
+    at ``position``, where ``S_T`` is the permutation described by ``order``.
+    """
+    if order is None:
+        slot = original_dimension
+    else:
+        order = np.asarray(order)
+        slot = int(np.flatnonzero(order == original_dimension)[0])
+    return row_for_slot(slot, position, n_dimensions)
+
+
+def inverse_order(order: Sequence[int]) -> np.ndarray:
+    """Map original dimension -> slot for a permutation ``order``."""
+    order = np.asarray(order)
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(len(order))
+    return inverse
+
+
+def random_permutations(n_dimensions: int, k: int,
+                        rng: Optional[np.random.Generator] = None,
+                        include_identity: bool = True) -> List[np.ndarray]:
+    """Draw ``k`` random dimension permutations (``Σ_T`` subset, Section 4.4.2).
+
+    The identity permutation is included first by default, matching the
+    intuition that the original dimension order should always be evaluated.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = rng or np.random.default_rng()
+    permutations: List[np.ndarray] = []
+    if include_identity:
+        permutations.append(np.arange(n_dimensions))
+    while len(permutations) < k:
+        permutations.append(rng.permutation(n_dimensions))
+    return permutations[:k]

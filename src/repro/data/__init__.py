@@ -1,0 +1,54 @@
+"""Dataset containers and generators (synthetic UCR/UEA/JIGSAWS stand-ins)."""
+
+from .datasets import MultivariateDataset
+from .jigsaws import (
+    CLASS_NAMES as JIGSAWS_CLASS_NAMES,
+    DISCRIMINANT_GESTURES,
+    GESTURES,
+    JigsawsConfig,
+    discriminant_sensor_indices,
+    make_jigsaws_dataset,
+    sensor_names,
+)
+from .seeds import SEED_NAMES, seed_background, seed_instance
+from .splits import train_validation_split, train_validation_test_split
+from .synthetic import (
+    SyntheticConfig,
+    make_dataset,
+    make_type1_dataset,
+    make_type2_dataset,
+)
+from .uea import (
+    UEA_DATASET_NAMES,
+    UEA_METADATA,
+    UEASimulationConfig,
+    make_uea_archive,
+    make_uea_dataset,
+    scaled_metadata,
+)
+
+__all__ = [
+    "MultivariateDataset",
+    "SEED_NAMES",
+    "seed_instance",
+    "seed_background",
+    "SyntheticConfig",
+    "make_type1_dataset",
+    "make_type2_dataset",
+    "make_dataset",
+    "UEA_DATASET_NAMES",
+    "UEA_METADATA",
+    "UEASimulationConfig",
+    "make_uea_dataset",
+    "make_uea_archive",
+    "scaled_metadata",
+    "JigsawsConfig",
+    "make_jigsaws_dataset",
+    "sensor_names",
+    "discriminant_sensor_indices",
+    "GESTURES",
+    "DISCRIMINANT_GESTURES",
+    "JIGSAWS_CLASS_NAMES",
+    "train_validation_split",
+    "train_validation_test_split",
+]

@@ -1,0 +1,118 @@
+"""Dataset containers shared by every generator and experiment driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class MultivariateDataset:
+    """A set of multivariate data series with labels.
+
+    Attributes
+    ----------
+    X:
+        Array of shape ``(instances, dimensions, length)``.
+    y:
+        Integer labels of shape ``(instances,)``.
+    name:
+        Human-readable dataset name.
+    class_names:
+        Optional names for classes, indexed by label.
+    dim_names:
+        Optional names for dimensions (e.g. sensor names).
+    ground_truth:
+        Optional array of shape ``(instances, dimensions, length)`` with 1 at
+        positions of discriminant (injected) features and 0 elsewhere.  Used to
+        compute the paper's Dr-acc measure.
+    metadata:
+        Free-form extra information (e.g. gesture segments for JIGSAWS).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    name: str = "dataset"
+    class_names: Optional[List[str]] = None
+    dim_names: Optional[List[str]] = None
+    ground_truth: Optional[np.ndarray] = None
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.X.ndim != 3:
+            raise ValueError(f"X must be (instances, dimensions, length), got {self.X.shape}")
+        if len(self.y) != len(self.X):
+            raise ValueError("X and y must have the same number of instances")
+        if self.ground_truth is not None:
+            self.ground_truth = np.asarray(self.ground_truth, dtype=np.float64)
+            if self.ground_truth.shape != self.X.shape:
+                raise ValueError("ground_truth must have the same shape as X")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_instances(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_dimensions(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def length(self) -> int:
+        return self.X.shape[2]
+
+    @property
+    def n_classes(self) -> int:
+        return int(len(np.unique(self.y)))
+
+    def __len__(self) -> int:
+        return self.n_instances
+
+    def class_counts(self) -> Dict[int, int]:
+        labels, counts = np.unique(self.y, return_counts=True)
+        return dict(zip(labels.tolist(), counts.tolist()))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int], name_suffix: str = "") -> "MultivariateDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return MultivariateDataset(
+            X=self.X[indices],
+            y=self.y[indices],
+            name=self.name + name_suffix,
+            class_names=self.class_names,
+            dim_names=self.dim_names,
+            ground_truth=None if self.ground_truth is None else self.ground_truth[indices],
+            metadata=dict(self.metadata),
+        )
+
+    def znormalize(self, eps: float = 1e-8) -> "MultivariateDataset":
+        """Z-normalise each dimension of each instance independently."""
+        mean = self.X.mean(axis=2, keepdims=True)
+        std = self.X.std(axis=2, keepdims=True)
+        normalized = (self.X - mean) / (std + eps)
+        return MultivariateDataset(
+            X=normalized,
+            y=self.y.copy(),
+            name=self.name,
+            class_names=self.class_names,
+            dim_names=self.dim_names,
+            ground_truth=None if self.ground_truth is None else self.ground_truth.copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> str:
+        """One-line description used by examples and benchmark reports."""
+        return (
+            f"{self.name}: {self.n_instances} instances, "
+            f"{self.n_dimensions} dimensions, length {self.length}, "
+            f"{self.n_classes} classes"
+        )

@@ -1,0 +1,182 @@
+"""Simulated JIGSAWS-like surgical kinematics data (Section 5.8 use case).
+
+The paper's use case trains dCNN on the JIGSAWS suturing dataset: multivariate
+kinematic recordings (76 sensors) of surgeons performing sutures with the
+DaVinci surgical system, labeled by skill level (novice / intermediate /
+expert).  dCAM is then used to find which sensors, during which gestures,
+discriminate the novice class — the paper reports the master-tool-manipulator
+(MTM) gripper angles and tooltip rotation sensors during gestures G6 and G9.
+
+This simulator generates data with the same structure:
+
+* 76 sensors in 4 groups of 19 (left/right patient-side manipulators PSM,
+  left/right master tool manipulators MTM), each group containing 3 Cartesian
+  positions, 9 rotation-matrix elements, 6 velocities and 1 gripper angle.
+* Each instance is a sequence of gestures G1..G11 (each a contiguous segment).
+* Novice surgeons differ from intermediates/experts through extra tremor and
+  altered gripper-angle / rotation patterns during gestures G6 and G9 — the
+  planted ground truth that dCAM should recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .datasets import MultivariateDataset
+
+N_SENSORS_PER_GROUP = 19
+SENSOR_GROUPS = ("PSM_left", "PSM_right", "MTM_left", "MTM_right")
+N_SENSORS = N_SENSORS_PER_GROUP * len(SENSOR_GROUPS)
+
+GESTURES = tuple(f"G{i}" for i in range(1, 12))
+#: Gestures whose execution discriminates novices in the paper's analysis.
+DISCRIMINANT_GESTURES = ("G6", "G9")
+
+CLASS_NAMES = ["novice", "intermediate", "expert"]
+
+
+def sensor_names() -> List[str]:
+    """Return the 76 sensor names, grouped as in the JIGSAWS kinematics."""
+    names: List[str] = []
+    for group in SENSOR_GROUPS:
+        names.extend(f"{group}_pos_{axis}" for axis in "xyz")
+        names.extend(f"{group}_rot_{i}" for i in range(1, 10))
+        names.extend(f"{group}_linvel_{axis}" for axis in "xyz")
+        names.extend(f"{group}_angvel_{axis}" for axis in "xyz")
+        names.append(f"{group}_gripper_angle")
+    return names
+
+
+def _sensor_indices_by_kind() -> Dict[str, List[int]]:
+    """Map sensor kinds (position, rotation, velocity, gripper) to indices."""
+    kinds: Dict[str, List[int]] = {"position": [], "rotation": [], "velocity": [], "gripper": []}
+    for index, name in enumerate(sensor_names()):
+        if "_pos_" in name:
+            kinds["position"].append(index)
+        elif "_rot_" in name:
+            kinds["rotation"].append(index)
+        elif "vel" in name:
+            kinds["velocity"].append(index)
+        else:
+            kinds["gripper"].append(index)
+    return kinds
+
+
+#: Sensors planted as discriminant for the novice class (MTM gripper angles and
+#: a few right-MTM/PSM rotation elements), mirroring Figure 13(c)/(d).
+def discriminant_sensor_indices() -> List[int]:
+    names = sensor_names()
+    picked = []
+    for index, name in enumerate(names):
+        if name.endswith("gripper_angle") and name.startswith("MTM"):
+            picked.append(index)
+        if name in ("MTM_right_rot_5", "MTM_right_rot_7", "PSM_right_rot_2", "PSM_right_rot_9"):
+            picked.append(index)
+    return picked
+
+
+@dataclass
+class JigsawsConfig:
+    """Scale parameters of the simulated JIGSAWS dataset."""
+
+    n_novice: int = 19
+    n_intermediate: int = 10
+    n_expert: int = 10
+    gesture_length: int = 12
+    n_gesture_repeats: int = 1
+    noise: float = 0.2
+    random_state: Optional[int] = 7
+
+
+def _gesture_sequence(config: JigsawsConfig, rng: np.random.Generator) -> List[str]:
+    """Sequence of gestures performed in one trial (all 11, possibly repeated)."""
+    sequence: List[str] = []
+    for _ in range(config.n_gesture_repeats):
+        sequence.extend(GESTURES)
+    return sequence
+
+
+def _base_sensor_signal(sensor_kind: str, gesture_index: int, length: int,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Smooth, gesture-dependent baseline movement for one sensor."""
+    t = np.linspace(0, 1, length)
+    frequency = 1.0 + (gesture_index % 4)
+    phase = rng.uniform(0, 2 * np.pi)
+    if sensor_kind == "position":
+        return 0.8 * np.sin(2 * np.pi * frequency * t + phase)
+    if sensor_kind == "rotation":
+        return 0.5 * np.cos(2 * np.pi * frequency * t + phase)
+    if sensor_kind == "velocity":
+        return 0.4 * np.sin(4 * np.pi * frequency * t + phase)
+    # gripper angle: open/close ramps
+    return np.abs(np.sin(np.pi * frequency * t + phase))
+
+
+def make_jigsaws_dataset(config: Optional[JigsawsConfig] = None) -> MultivariateDataset:
+    """Simulate the JIGSAWS suturing dataset.
+
+    Returns a :class:`MultivariateDataset` whose metadata contains the gesture
+    boundaries (``gesture_segments``: list of ``(gesture, start, end)`` per
+    instance) and the planted discriminant sensors/gestures, so experiments can
+    verify that dCAM recovers them.
+    """
+    config = config or JigsawsConfig()
+    rng = np.random.default_rng(config.random_state)
+    names = sensor_names()
+    kinds = _sensor_indices_by_kind()
+    kind_of: Dict[int, str] = {}
+    for kind, indices in kinds.items():
+        for index in indices:
+            kind_of[index] = kind
+
+    discriminant_sensors = discriminant_sensor_indices()
+    counts = {0: config.n_novice, 1: config.n_intermediate, 2: config.n_expert}
+
+    instances, labels, masks, segments_per_instance = [], [], [], []
+    for class_id, count in counts.items():
+        for _ in range(count):
+            sequence = _gesture_sequence(config, rng)
+            length = len(sequence) * config.gesture_length
+            series = rng.normal(0.0, config.noise, size=(N_SENSORS, length))
+            mask = np.zeros_like(series)
+            segments: List[Tuple[str, int, int]] = []
+            for gesture_position, gesture in enumerate(sequence):
+                start = gesture_position * config.gesture_length
+                end = start + config.gesture_length
+                segments.append((gesture, start, end))
+                gesture_index = GESTURES.index(gesture)
+                for sensor in range(N_SENSORS):
+                    series[sensor, start:end] += _base_sensor_signal(
+                        kind_of[sensor], gesture_index, config.gesture_length, rng)
+                if class_id == 0 and gesture in DISCRIMINANT_GESTURES:
+                    # Novice signature: tremor + altered gripper/rotation pattern
+                    # on the discriminant sensors during G6 and G9.
+                    t = np.linspace(0, 1, config.gesture_length)
+                    tremor = 0.9 * np.sin(2 * np.pi * 8 * t)
+                    for sensor in discriminant_sensors:
+                        series[sensor, start:end] += tremor + 0.6
+                        mask[sensor, start:end] = 1.0
+            instances.append(series)
+            labels.append(class_id)
+            masks.append(mask)
+            segments_per_instance.append(segments)
+
+    X = np.stack(instances)
+    return MultivariateDataset(
+        X=X,
+        y=np.asarray(labels),
+        name="jigsaws-suturing-simulated",
+        class_names=list(CLASS_NAMES),
+        dim_names=names,
+        ground_truth=np.stack(masks),
+        metadata={
+            "gesture_segments": segments_per_instance,
+            "gestures": list(GESTURES),
+            "discriminant_gestures": list(DISCRIMINANT_GESTURES),
+            "discriminant_sensors": discriminant_sensors,
+            "sensor_groups": list(SENSOR_GROUPS),
+        },
+    )

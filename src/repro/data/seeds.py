@@ -1,0 +1,133 @@
+"""Synthetic stand-ins for the UCR seed datasets used by the paper.
+
+The paper builds its synthetic Type 1 / Type 2 benchmarks by concatenating
+instances from two classes of the UCR datasets *StarLightCurves*, *ShapesAll*
+and *Fish* (Section 5.1.1).  The real archive is not available offline, so this
+module generates univariate series with the same character:
+
+* ``starlight`` — smooth, periodic light-curve-like series.  Class 0 resembles
+  a sinusoidal pulsating variable star; class 1 resembles an eclipsing binary
+  with sharp periodic dips.
+* ``shapes`` — radial contour profiles of polygon-like shapes.  Class 0 uses a
+  low number of lobes, class 1 a higher number, giving clearly different local
+  patterns.
+* ``fish`` — smooth closed-outline profiles with class-dependent asymmetric
+  bumps (dorsal-fin-like vs tail-heavy shapes).
+
+Only two classes per seed are generated, mirroring the paper's use of two
+classes from each UCR dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+SEED_NAMES = ("starlight", "shapes", "fish")
+
+
+def _smooth_noise(length: int, rng: np.random.Generator, scale: float = 0.05,
+                  smoothing: int = 5) -> np.ndarray:
+    """Low-pass-filtered Gaussian noise, to avoid perfectly clean series."""
+    noise = rng.normal(0.0, scale, size=length + smoothing)
+    kernel = np.ones(smoothing) / smoothing
+    return np.convolve(noise, kernel, mode="same")[:length]
+
+
+def starlight(class_id: int, length: int, rng: np.random.Generator) -> np.ndarray:
+    """Star-light-curve-like series (smooth periodic brightness curves)."""
+    t = np.linspace(0.0, 2.0 * np.pi, length)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    period = rng.uniform(1.5, 2.5)
+    if class_id == 0:
+        # Pulsating variable: smooth asymmetric sinusoidal oscillation.
+        curve = np.sin(period * t + phase) + 0.3 * np.sin(2 * period * t + phase)
+    elif class_id == 1:
+        # Eclipsing binary: baseline brightness with sharp periodic dips.
+        curve = 0.2 * np.sin(period * t + phase)
+        dip_centers = np.arange(phase % np.pi, 2.0 * np.pi, np.pi / period)
+        width = 0.25
+        for center in dip_centers:
+            curve -= 1.2 * np.exp(-((t - center) ** 2) / (2 * width ** 2))
+    else:
+        raise ValueError("starlight seed has exactly two classes (0 and 1)")
+    return curve + _smooth_noise(length, rng)
+
+
+def shapes(class_id: int, length: int, rng: np.random.Generator) -> np.ndarray:
+    """Shape-contour-like series (radial profiles of lobed shapes)."""
+    t = np.linspace(0.0, 2.0 * np.pi, length)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    if class_id == 0:
+        lobes = rng.integers(3, 5)
+        profile = 1.0 + 0.35 * np.cos(lobes * t + phase)
+    elif class_id == 1:
+        lobes = rng.integers(7, 10)
+        profile = 1.0 + 0.25 * np.cos(lobes * t + phase) + 0.15 * np.sin(2 * t + phase)
+    else:
+        raise ValueError("shapes seed has exactly two classes (0 and 1)")
+    return profile - profile.mean() + _smooth_noise(length, rng)
+
+
+def fish(class_id: int, length: int, rng: np.random.Generator) -> np.ndarray:
+    """Fish-outline-like series (smooth contours with localized bumps)."""
+    t = np.linspace(0.0, 1.0, length)
+    base = np.sin(np.pi * t)  # body outline envelope
+    jitter = rng.uniform(-0.05, 0.05)
+    if class_id == 0:
+        # Dorsal-fin-heavy outline: bump near the front third.
+        bump_center = 0.3 + jitter
+        bump = 0.8 * np.exp(-((t - bump_center) ** 2) / (2 * 0.03 ** 2))
+    elif class_id == 1:
+        # Tail-heavy outline: wider bump near the end plus a notch.
+        bump_center = 0.8 + jitter
+        bump = 0.6 * np.exp(-((t - bump_center) ** 2) / (2 * 0.06 ** 2))
+        bump -= 0.4 * np.exp(-((t - 0.55 - jitter) ** 2) / (2 * 0.02 ** 2))
+    else:
+        raise ValueError("fish seed has exactly two classes (0 and 1)")
+    series = base + bump
+    return series - series.mean() + _smooth_noise(length, rng)
+
+
+_GENERATORS: Dict[str, Callable[[int, int, np.random.Generator], np.ndarray]] = {
+    "starlight": starlight,
+    "shapes": shapes,
+    "fish": fish,
+}
+
+
+def seed_instance(seed_name: str, class_id: int, length: int,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Generate one univariate instance from the named seed dataset.
+
+    Parameters
+    ----------
+    seed_name:
+        One of ``"starlight"``, ``"shapes"``, ``"fish"``.
+    class_id:
+        Seed class, 0 or 1.
+    length:
+        Series length.
+    """
+    if seed_name not in _GENERATORS:
+        raise KeyError(f"unknown seed dataset {seed_name!r}; choose from {sorted(_GENERATORS)}")
+    rng = rng or np.random.default_rng()
+    return _GENERATORS[seed_name](class_id, length, rng)
+
+
+def seed_background(seed_name: str, class_id: int, total_length: int,
+                    instance_length: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Concatenate random seed instances until ``total_length`` is reached.
+
+    This is the "concatenating random instances from one class" step of the
+    Type 1 / Type 2 dataset construction (Section 5.1.1).
+    """
+    rng = rng or np.random.default_rng()
+    pieces = []
+    generated = 0
+    while generated < total_length:
+        piece = seed_instance(seed_name, class_id, instance_length, rng)
+        pieces.append(piece)
+        generated += instance_length
+    return np.concatenate(pieces)[:total_length]

@@ -1,0 +1,59 @@
+"""Train / validation / test splitting utilities.
+
+The paper (Section 5.2) splits every dataset into 80% training and 20%
+validation, class-balanced, and generates fresh test data for the synthetic
+benchmarks.  These helpers implement the class-stratified splits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .datasets import MultivariateDataset
+
+
+def stratified_indices(y: np.ndarray, fraction: float,
+                       rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+    """Split indices into two class-stratified groups of sizes ``fraction`` / rest."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    first, second = [], []
+    for label in np.unique(y):
+        label_indices = np.flatnonzero(y == label)
+        label_indices = rng.permutation(label_indices)
+        cut = max(1, int(round(fraction * len(label_indices))))
+        cut = min(cut, len(label_indices) - 1) if len(label_indices) > 1 else cut
+        first.extend(label_indices[:cut])
+        second.extend(label_indices[cut:])
+    return np.asarray(sorted(first)), np.asarray(sorted(second))
+
+
+def train_validation_split(dataset: MultivariateDataset, train_fraction: float = 0.8,
+                           random_state: Optional[int] = None
+                           ) -> Tuple[MultivariateDataset, MultivariateDataset]:
+    """Class-stratified split into training and validation datasets."""
+    rng = np.random.default_rng(random_state)
+    train_idx, val_idx = stratified_indices(dataset.y, train_fraction, rng)
+    return dataset.subset(train_idx, "-train"), dataset.subset(val_idx, "-val")
+
+
+def train_validation_test_split(dataset: MultivariateDataset,
+                                train_fraction: float = 0.6,
+                                validation_fraction: float = 0.2,
+                                random_state: Optional[int] = None
+                                ) -> Tuple[MultivariateDataset, MultivariateDataset, MultivariateDataset]:
+    """Three-way class-stratified split."""
+    if train_fraction + validation_fraction >= 1.0:
+        raise ValueError("train_fraction + validation_fraction must be < 1")
+    rng = np.random.default_rng(random_state)
+    train_idx, rest_idx = stratified_indices(dataset.y, train_fraction, rng)
+    rest = dataset.subset(rest_idx)
+    relative_fraction = validation_fraction / (1.0 - train_fraction)
+    val_rel, test_rel = stratified_indices(rest.y, relative_fraction, rng)
+    return (
+        dataset.subset(train_idx, "-train"),
+        rest.subset(val_rel, "-val"),
+        rest.subset(test_rel, "-test"),
+    )

@@ -1,0 +1,173 @@
+"""Synthetic Type 1 and Type 2 benchmarks with known discriminant features.
+
+These reproduce the dataset construction of Section 5.1.1:
+
+* **Type 1** — class 1 instances are pure "background" (each dimension is a
+  concatenation of random seed instances from seed class 0).  Class 2
+  instances take the same background and *inject a pattern from seed class 1
+  into 2 random dimensions at random (different) positions*.  The injected
+  patterns are what discriminates the two classes, and their positions form
+  the ground truth for Dr-acc.
+
+* **Type 2** — *both* classes contain injected patterns.  Class 1 injects
+  patterns into ``n_injections`` random dimensions at *different* positions;
+  class 2 injects patterns such that two of them land at the *same* position
+  (same timestamp) in two random dimensions.  The discriminant factor is the
+  temporal co-occurrence across dimensions, which can only be detected by
+  models able to compare dimensions.  The two co-located patterns are the
+  ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .datasets import MultivariateDataset
+from .seeds import seed_background, seed_instance
+
+
+@dataclass
+class SyntheticConfig:
+    """Parameters of the Type 1 / Type 2 generators.
+
+    Attributes mirror the knobs varied in the paper's Table 3 and Figures 9/10:
+    the seed dataset, the number of dimensions ``n_dimensions`` (10-100 in the
+    paper), the number of instances per class and the series length.
+    """
+
+    seed_name: str = "starlight"
+    n_dimensions: int = 10
+    n_instances_per_class: int = 20
+    series_length: int = 128
+    seed_instance_length: int = 32
+    pattern_length: int = 32
+    n_injections: int = 2
+    random_state: Optional[int] = None
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.random_state)
+
+
+def _background(config: SyntheticConfig, rng: np.random.Generator) -> np.ndarray:
+    """Build one instance whose dimensions are concatenated seed-class-0 series."""
+    return np.stack([
+        seed_background(config.seed_name, 0, config.series_length,
+                        config.seed_instance_length, rng)
+        for _ in range(config.n_dimensions)
+    ])
+
+
+def _inject(series: np.ndarray, mask: np.ndarray, dimension: int, position: int,
+            pattern: np.ndarray) -> None:
+    """Overwrite ``series[dimension, position:position+len]`` with ``pattern``."""
+    length = len(pattern)
+    series[dimension, position: position + length] = pattern
+    mask[dimension, position: position + length] = 1.0
+
+
+def _random_positions(rng: np.random.Generator, count: int, series_length: int,
+                      pattern_length: int, distinct: bool) -> np.ndarray:
+    """Draw injection start positions, optionally pairwise non-overlapping."""
+    max_start = series_length - pattern_length
+    if max_start <= 0:
+        raise ValueError("pattern_length must be smaller than series_length")
+    if not distinct:
+        return rng.integers(0, max_start + 1, size=count)
+    positions: list[int] = []
+    attempts = 0
+    while len(positions) < count:
+        candidate = int(rng.integers(0, max_start + 1))
+        if all(abs(candidate - p) >= pattern_length for p in positions) or attempts > 200:
+            positions.append(candidate)
+        attempts += 1
+    return np.asarray(positions)
+
+
+def make_type1_dataset(config: SyntheticConfig) -> MultivariateDataset:
+    """Generate a Type 1 dataset (patterns in a subset of dims, different times)."""
+    rng = config.rng()
+    instances, labels, masks = [], [], []
+    for class_id in (0, 1):
+        for _ in range(config.n_instances_per_class):
+            series = _background(config, rng)
+            mask = np.zeros_like(series)
+            if class_id == 1:
+                dims = rng.choice(config.n_dimensions, size=min(2, config.n_dimensions),
+                                  replace=False)
+                positions = _random_positions(rng, len(dims), config.series_length,
+                                              config.pattern_length, distinct=True)
+                for dimension, position in zip(dims, positions):
+                    pattern = seed_instance(config.seed_name, 1, config.pattern_length, rng)
+                    _inject(series, mask, int(dimension), int(position), pattern)
+            instances.append(series)
+            labels.append(class_id)
+            masks.append(mask)
+    X = np.stack(instances)
+    return MultivariateDataset(
+        X=X,
+        y=np.asarray(labels),
+        name=f"{config.seed_name}-type1-D{config.n_dimensions}",
+        class_names=["class_1_background", "class_2_injected"],
+        ground_truth=np.stack(masks),
+        metadata={"type": 1, "config": config},
+    )
+
+
+def make_type2_dataset(config: SyntheticConfig) -> MultivariateDataset:
+    """Generate a Type 2 dataset (discriminant = same-timestamp co-occurrence)."""
+    rng = config.rng()
+    instances, labels, masks = [], [], []
+    n_injections = max(2, config.n_injections)
+    for class_id in (0, 1):
+        for _ in range(config.n_instances_per_class):
+            series = _background(config, rng)
+            mask = np.zeros_like(series)
+            dims = rng.choice(config.n_dimensions, size=min(n_injections, config.n_dimensions),
+                              replace=False)
+            if class_id == 0:
+                # Patterns at pairwise different positions: no temporal alignment.
+                positions = _random_positions(rng, len(dims), config.series_length,
+                                              config.pattern_length, distinct=True)
+                for dimension, position in zip(dims, positions):
+                    pattern = seed_instance(config.seed_name, 1, config.pattern_length, rng)
+                    _inject(series, mask, int(dimension), int(position), pattern)
+                # Class 1 injections are not the discriminant features: reset mask.
+                mask[...] = 0.0
+            else:
+                # Two patterns at the SAME position (the discriminant feature),
+                # remaining ones at different positions.
+                shared_position = int(_random_positions(rng, 1, config.series_length,
+                                                        config.pattern_length, False)[0])
+                aligned_dims = dims[:2]
+                for dimension in aligned_dims:
+                    pattern = seed_instance(config.seed_name, 1, config.pattern_length, rng)
+                    _inject(series, mask, int(dimension), shared_position, pattern)
+                other_positions = _random_positions(rng, len(dims) - 2, config.series_length,
+                                                    config.pattern_length, distinct=True)
+                for dimension, position in zip(dims[2:], other_positions):
+                    pattern = seed_instance(config.seed_name, 1, config.pattern_length, rng)
+                    series[int(dimension), position: position + config.pattern_length] = pattern
+            instances.append(series)
+            labels.append(class_id)
+            masks.append(mask)
+    X = np.stack(instances)
+    return MultivariateDataset(
+        X=X,
+        y=np.asarray(labels),
+        name=f"{config.seed_name}-type2-D{config.n_dimensions}",
+        class_names=["class_1_misaligned", "class_2_aligned"],
+        ground_truth=np.stack(masks),
+        metadata={"type": 2, "config": config},
+    )
+
+
+def make_dataset(dataset_type: int, config: SyntheticConfig) -> MultivariateDataset:
+    """Dispatch helper: ``dataset_type`` is 1 or 2."""
+    if dataset_type == 1:
+        return make_type1_dataset(config)
+    if dataset_type == 2:
+        return make_type2_dataset(config)
+    raise ValueError("dataset_type must be 1 or 2")

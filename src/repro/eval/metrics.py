@@ -1,0 +1,103 @@
+"""Evaluation metrics (classification accuracy, PR-AUC, ROC-AUC).
+
+Implemented from scratch (no scikit-learn dependency).  PR-AUC is computed as
+average precision, the standard step-wise approximation of the area under the
+precision-recall curve; the paper uses PR-AUC for the Dr-acc measure because
+the injected discriminant patterns cover a tiny fraction of the series
+(heavily unbalanced positives), where PR-AUC is more informative than ROC-AUC
+(Davis & Goadrich, 2006).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def classification_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified instances (the paper's C-acc)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of an empty label set")
+    return float(np.mean(y_true == y_pred))
+
+
+def _validate_binary_scores(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel().astype(float)
+    scores = np.asarray(scores).ravel().astype(float)
+    if y_true.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    unique = np.unique(y_true)
+    if not np.all(np.isin(unique, (0.0, 1.0))):
+        raise ValueError("labels must be binary (0/1)")
+    return y_true, scores
+
+
+def precision_recall_curve(y_true: np.ndarray, scores: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall at every distinct score threshold.
+
+    Returns ``(precision, recall, thresholds)`` with precision/recall ordered
+    by decreasing threshold (increasing recall), mirroring the scikit-learn
+    convention minus the trailing ``(1, 0)`` sentinel point.
+    """
+    y_true, scores = _validate_binary_scores(y_true, scores)
+    n_positive = y_true.sum()
+    if n_positive == 0:
+        raise ValueError("precision-recall curve undefined without positive labels")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+    # Evaluate only at the last occurrence of each distinct score value.
+    distinct = np.flatnonzero(np.diff(np.append(sorted_scores, -np.inf)))
+    true_positives = np.cumsum(sorted_true)[distinct]
+    predicted_positives = distinct + 1.0
+    precision = true_positives / predicted_positives
+    recall = true_positives / n_positive
+    thresholds = sorted_scores[distinct]
+    return precision, recall, thresholds
+
+
+def pr_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (average precision)."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    recall = np.concatenate(([0.0], recall))
+    return float(np.sum(np.diff(recall) * precision))
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve, via the Mann-Whitney U statistic."""
+    y_true, scores = _validate_binary_scores(y_true, scores)
+    n_positive = int(y_true.sum())
+    n_negative = int(len(y_true) - n_positive)
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("ROC-AUC requires both positive and negative labels")
+    # Average ranks (ties shared) of the positive scores.
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=float)
+    sorted_scores = scores[order]
+    index = 0
+    while index < len(scores):
+        tie_end = index
+        while tie_end + 1 < len(scores) and sorted_scores[tie_end + 1] == sorted_scores[index]:
+            tie_end += 1
+        ranks[order[index: tie_end + 1]] = 0.5 * (index + tie_end) + 1.0
+        index = tie_end + 1
+    positive_rank_sum = ranks[y_true == 1].sum()
+    u_statistic = positive_rank_sum - n_positive * (n_positive + 1) / 2.0
+    return float(u_statistic / (n_positive * n_negative))
+
+
+def harmonic_mean(first: float, second: float) -> float:
+    """The paper's combined score ``F(Type1, Type2)`` (Figure 9(a.3)/(b.3))."""
+    if first < 0 or second < 0:
+        raise ValueError("harmonic mean requires non-negative values")
+    if first + second == 0:
+        return 0.0
+    return 2.0 * first * second / (first + second)

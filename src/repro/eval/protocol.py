@@ -1,0 +1,135 @@
+"""Evaluation protocols shared by the experiment drivers.
+
+Encapsulates the paper's protocol (Section 5.2): stratified 80/20
+train/validation split, training with Adam + early stopping, C-acc on a held
+out test set, Dr-acc via the appropriate explanation method of each
+architecture family, averaged over several runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cam import cam_as_multivariate, class_activation_map
+from ..core.dcam import compute_dcam
+from ..core.gradcam import mtex_explanation
+from ..data.datasets import MultivariateDataset
+from ..data.splits import train_validation_split
+from ..models.base import BaseClassifier, TrainingConfig
+from ..models.registry import create_model
+from .dr_acc import dr_acc
+from .metrics import classification_accuracy
+
+
+@dataclass
+class EvaluationResult:
+    """Result of training + evaluating one model on one dataset."""
+
+    model_name: str
+    dataset_name: str
+    c_acc: float
+    dr_acc: Optional[float] = None
+    success_ratio: Optional[float] = None
+    epochs_run: int = 0
+    train_seconds: float = 0.0
+    extra: Dict = field(default_factory=dict)
+
+
+def fit_on_dataset(model: BaseClassifier, dataset: MultivariateDataset,
+                   training: Optional[TrainingConfig] = None,
+                   validation_fraction: float = 0.2,
+                   random_state: Optional[int] = None):
+    """Train ``model`` with the paper's 80/20 stratified split protocol."""
+    train, validation = train_validation_split(dataset, 1.0 - validation_fraction,
+                                               random_state=random_state)
+    history = model.fit(train.X, train.y, validation_data=(validation.X, validation.y),
+                        config=training or TrainingConfig())
+    return history
+
+
+def evaluate_classification(model_name: str, dataset: MultivariateDataset,
+                            test: MultivariateDataset,
+                            training: Optional[TrainingConfig] = None,
+                            model_kwargs: Optional[Dict] = None,
+                            random_state: Optional[int] = None) -> Tuple[BaseClassifier, EvaluationResult]:
+    """Train one architecture on ``dataset`` and measure C-acc on ``test``."""
+    rng = np.random.default_rng(random_state)
+    model = create_model(model_name, dataset.n_dimensions, dataset.length,
+                         dataset.n_classes, rng=rng, **(model_kwargs or {}))
+    history = fit_on_dataset(model, dataset, training, random_state=random_state)
+    accuracy = model.score(test.X, test.y)
+    result = EvaluationResult(
+        model_name=model_name,
+        dataset_name=dataset.name,
+        c_acc=accuracy,
+        epochs_run=history.epochs_run,
+        train_seconds=float(np.sum(history.epoch_seconds)),
+    )
+    return model, result
+
+
+def explanation_for(model: BaseClassifier, model_name: str, series: np.ndarray,
+                    class_id: int, k: int = 20,
+                    rng: Optional[np.random.Generator] = None) -> Tuple[np.ndarray, Optional[float]]:
+    """Dispatch to the explanation method matching the architecture family.
+
+    Returns the ``(D, n)`` explanation heatmap and, for the d-architectures,
+    the ``n_g / k`` success ratio (None otherwise).
+    """
+    n_dimensions = series.shape[0]
+    name = model_name.lower()
+    if name.startswith("d"):
+        result = compute_dcam(model, series, class_id, k=k, rng=rng)
+        return result.dcam, result.success_ratio
+    if name == "mtex":
+        return mtex_explanation(model, series, class_id), None
+    cam = class_activation_map(model, series, class_id)
+    if cam.ndim == 1:
+        return cam_as_multivariate(cam, n_dimensions), None
+    return cam, None
+
+
+def evaluate_explanation(model: BaseClassifier, model_name: str,
+                         test: MultivariateDataset, target_class: int = 1,
+                         n_instances: int = 10, k: int = 20,
+                         random_state: Optional[int] = None) -> Tuple[float, Optional[float]]:
+    """Average Dr-acc of a trained model over instances of ``target_class``.
+
+    Only instances whose ground-truth mask is non-empty are considered (the
+    class with injected discriminant features).
+    """
+    if test.ground_truth is None:
+        raise ValueError("dataset has no ground-truth masks")
+    rng = np.random.default_rng(random_state)
+    candidate_indices = [
+        index for index in range(len(test))
+        if test.y[index] == target_class and test.ground_truth[index].sum() > 0
+    ]
+    if not candidate_indices:
+        raise ValueError(f"no instances of class {target_class} with ground truth")
+    chosen = candidate_indices[:n_instances]
+    scores, ratios = [], []
+    for index in chosen:
+        heatmap, ratio = explanation_for(model, model_name, test.X[index],
+                                         int(test.y[index]), k=k, rng=rng)
+        scores.append(dr_acc(heatmap, test.ground_truth[index]))
+        if ratio is not None:
+            ratios.append(ratio)
+    mean_ratio = float(np.mean(ratios)) if ratios else None
+    return float(np.mean(scores)), mean_ratio
+
+
+def repeated_runs(model_name: str, dataset: MultivariateDataset, test: MultivariateDataset,
+                  n_runs: int = 3, training: Optional[TrainingConfig] = None,
+                  model_kwargs: Optional[Dict] = None,
+                  base_seed: int = 0) -> List[EvaluationResult]:
+    """Repeat train+evaluate ``n_runs`` times with different seeds (paper: 10)."""
+    results = []
+    for run in range(n_runs):
+        _, result = evaluate_classification(model_name, dataset, test, training,
+                                            model_kwargs, random_state=base_seed + run)
+        results.append(result)
+    return results

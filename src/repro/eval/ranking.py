@@ -1,0 +1,58 @@
+"""Average-rank aggregation across datasets (the "Rank" rows of Tables 2/3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def rank_scores(scores: Dict[str, float], higher_is_better: bool = True) -> Dict[str, float]:
+    """Competition-style ranks (1 = best) with ties receiving the average rank."""
+    if not scores:
+        raise ValueError("scores must not be empty")
+    names = list(scores)
+    values = np.asarray([scores[name] for name in names], dtype=float)
+    order_sign = -1.0 if higher_is_better else 1.0
+    sortable = order_sign * values
+    ranks = np.empty(len(values), dtype=float)
+    order = np.argsort(sortable, kind="mergesort")
+    position = 0
+    while position < len(values):
+        tie_end = position
+        while (tie_end + 1 < len(values)
+               and sortable[order[tie_end + 1]] == sortable[order[position]]):
+            tie_end += 1
+        average_rank = 0.5 * (position + tie_end) + 1.0
+        for index in order[position: tie_end + 1]:
+            ranks[index] = average_rank
+        position = tie_end + 1
+    return dict(zip(names, ranks.tolist()))
+
+
+def average_ranks(per_dataset_scores: Sequence[Dict[str, float]],
+                  higher_is_better: bool = True) -> Dict[str, float]:
+    """Average the per-dataset ranks of each method (Tables 2 and 3)."""
+    if not per_dataset_scores:
+        raise ValueError("no datasets provided")
+    methods = list(per_dataset_scores[0])
+    totals = {method: 0.0 for method in methods}
+    for scores in per_dataset_scores:
+        if set(scores) != set(methods):
+            raise ValueError("every dataset must report the same methods")
+        ranks = rank_scores(scores, higher_is_better)
+        for method, rank in ranks.items():
+            totals[method] += rank
+    count = len(per_dataset_scores)
+    return {method: total / count for method, total in totals.items()}
+
+
+def mean_scores(per_dataset_scores: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Per-method mean over datasets (the "Mean" row of Table 2)."""
+    if not per_dataset_scores:
+        raise ValueError("no datasets provided")
+    methods = list(per_dataset_scores[0])
+    return {
+        method: float(np.mean([scores[method] for scores in per_dataset_scores]))
+        for method in methods
+    }

@@ -1,0 +1,53 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .ablation import (
+    AblationResult,
+    EXTRACTION_VARIANTS,
+    extract_variant,
+    run_extraction_ablation,
+    run_ng_filter_ablation,
+)
+from .config import ExperimentScale, get_scale, paper_scale, small_scale, tiny_scale
+from .figure8 import FIGURE8_PAIRS, Figure8Result, run_figure8
+from .figure9 import Figure9Result, run_figure9
+from .figure10 import Figure10Result, run_figure10
+from .figure11 import Figure11Point, Figure11Result, run_figure11
+from .figure12 import Figure12Result, run_figure12
+from .figure13 import Figure13Result, run_figure13
+from .reporting import format_series, format_table
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, Table3Row, run_table3
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "tiny_scale",
+    "small_scale",
+    "paper_scale",
+    "format_table",
+    "format_series",
+    "Table2Result",
+    "run_table2",
+    "Table3Result",
+    "Table3Row",
+    "run_table3",
+    "FIGURE8_PAIRS",
+    "Figure8Result",
+    "run_figure8",
+    "Figure9Result",
+    "run_figure9",
+    "Figure10Result",
+    "run_figure10",
+    "Figure11Point",
+    "Figure11Result",
+    "run_figure11",
+    "Figure12Result",
+    "run_figure12",
+    "Figure13Result",
+    "run_figure13",
+    "AblationResult",
+    "EXTRACTION_VARIANTS",
+    "extract_variant",
+    "run_extraction_ablation",
+    "run_ng_filter_ablation",
+]

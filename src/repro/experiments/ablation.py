@@ -1,0 +1,122 @@
+"""Ablations of dCAM design choices (DESIGN.md Section 5).
+
+Two choices of the dCAM extraction step (Definition 3) are ablated:
+
+* the **extraction rule** — the paper multiplies the per-position variance of
+  ``M̄`` by the global average activation; the ablation compares against using
+  only the variance or only the average;
+* the **permutation filter** — whether ``M̄`` is averaged over all ``k``
+  permutations or only over the ``n_g`` correctly-classified ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dcam import compute_dcam, extract_dcam
+from ..eval.dr_acc import dr_acc
+from .config import ExperimentScale, get_scale
+from .reporting import format_table
+from .runner import synthetic_train_test, train_model
+
+EXTRACTION_VARIANTS = ("variance_x_mean", "variance_only", "mean_only")
+
+
+def extract_variant(m_bar: np.ndarray, variant: str) -> np.ndarray:
+    """Apply one of the extraction variants to an averaged ``M̄`` tensor."""
+    dcam, averaged_cam = extract_dcam(m_bar)
+    if variant == "variance_x_mean":
+        return dcam
+    if variant == "variance_only":
+        return m_bar.var(axis=1)
+    if variant == "mean_only":
+        return np.tile(averaged_cam, (m_bar.shape[0], 1))
+    raise ValueError(f"unknown extraction variant {variant!r}")
+
+
+@dataclass
+class AblationResult:
+    """Dr-acc per ablation variant and configuration."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def format(self, title: str) -> str:
+        return format_table(self.rows, title=title)
+
+
+def run_extraction_ablation(scale: Optional[ExperimentScale] = None,
+                            seed_name: str = "starlight",
+                            dataset_types: Sequence[int] = (1, 2),
+                            model_name: str = "dcnn",
+                            base_seed: int = 0) -> AblationResult:
+    """Compare the three extraction rules on Type 1 / Type 2 datasets."""
+    scale = scale or get_scale("small")
+    n_dimensions = scale.dimension_sweep[0]
+    result = AblationResult()
+    for dataset_type in dataset_types:
+        config_seed = base_seed + 100 * dataset_type
+        train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
+                                           scale, config_seed)
+        model, _ = train_model(model_name, train, scale, random_state=config_seed)
+        indices = [
+            index for index in range(len(test))
+            if test.y[index] == 1 and test.ground_truth[index].sum() > 0
+        ][: scale.n_explained_instances]
+        scores: Dict[str, List[float]] = {variant: [] for variant in EXTRACTION_VARIANTS}
+        rng = np.random.default_rng(config_seed)
+        for index in indices:
+            dcam_result = compute_dcam(model, test.X[index], int(test.y[index]),
+                                       k=scale.k_permutations, rng=rng)
+            for variant in EXTRACTION_VARIANTS:
+                heatmap = extract_variant(dcam_result.m_bar, variant)
+                scores[variant].append(dr_acc(heatmap, test.ground_truth[index]))
+        row: Dict[str, object] = {"dataset": f"{seed_name}-type{dataset_type}-D{n_dimensions}",
+                                  "model": model_name}
+        for variant in EXTRACTION_VARIANTS:
+            row[variant] = float(np.mean(scores[variant]))
+        result.rows.append(row)
+    return result
+
+
+def run_ng_filter_ablation(scale: Optional[ExperimentScale] = None,
+                           seed_name: str = "starlight",
+                           dataset_types: Sequence[int] = (1, 2),
+                           model_name: str = "dcnn",
+                           base_seed: int = 0) -> AblationResult:
+    """Compare averaging over all permutations vs only correctly-classified ones."""
+    scale = scale or get_scale("small")
+    n_dimensions = scale.dimension_sweep[0]
+    result = AblationResult()
+    for dataset_type in dataset_types:
+        config_seed = base_seed + 100 * dataset_type
+        train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
+                                           scale, config_seed)
+        model, _ = train_model(model_name, train, scale, random_state=config_seed)
+        indices = [
+            index for index in range(len(test))
+            if test.y[index] == 1 and test.ground_truth[index].sum() > 0
+        ][: scale.n_explained_instances]
+        all_scores, correct_scores, ratios = [], [], []
+        for index in indices:
+            rng = np.random.default_rng(config_seed)
+            result_all = compute_dcam(model, test.X[index], int(test.y[index]),
+                                      k=scale.k_permutations, rng=rng,
+                                      use_only_correct=False)
+            rng = np.random.default_rng(config_seed)
+            result_correct = compute_dcam(model, test.X[index], int(test.y[index]),
+                                          k=scale.k_permutations, rng=rng,
+                                          use_only_correct=True)
+            all_scores.append(dr_acc(result_all.dcam, test.ground_truth[index]))
+            correct_scores.append(dr_acc(result_correct.dcam, test.ground_truth[index]))
+            ratios.append(result_all.success_ratio)
+        result.rows.append({
+            "dataset": f"{seed_name}-type{dataset_type}-D{n_dimensions}",
+            "model": model_name,
+            "all_permutations": float(np.mean(all_scores)),
+            "only_correct": float(np.mean(correct_scores)),
+            "ng/k": float(np.mean(ratios)),
+        })
+    return result

@@ -1,0 +1,94 @@
+"""Figure 10: influence of the number of permutations ``k`` on Dr-acc.
+
+For a trained d-architecture, dCAM is recomputed with increasing numbers of
+random permutations; panel (a) reports the (normalised) Dr-acc as a function
+of ``k``, and panel (b) the number of permutations needed to reach 90% of the
+best Dr-acc — which grows with the number of dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dcam import compute_dcam
+from ..eval.dr_acc import dr_acc
+from .config import ExperimentScale, get_scale
+from .reporting import format_series, format_table
+from .runner import synthetic_train_test, train_model
+
+
+@dataclass
+class Figure10Result:
+    """Dr-acc as a function of ``k`` and permutations-to-90% per configuration."""
+
+    k_values: List[int] = field(default_factory=list)
+    #: ``curves[(model, type, D)]`` = Dr-acc value per entry of ``k_values``.
+    curves: Dict[tuple, List[float]] = field(default_factory=dict)
+
+    def permutations_to_reach(self, fraction: float = 0.9) -> Dict[tuple, int]:
+        """Smallest ``k`` reaching ``fraction`` of the best Dr-acc (panel b)."""
+        needed = {}
+        for key, values in self.curves.items():
+            values = np.asarray(values)
+            best = values.max()
+            if best <= 0:
+                needed[key] = self.k_values[-1]
+                continue
+            reached = np.flatnonzero(values >= fraction * best)
+            needed[key] = self.k_values[int(reached[0])] if len(reached) else self.k_values[-1]
+        return needed
+
+    def format(self) -> str:
+        series = {f"{model}-type{dtype}-D{dims}": values
+                  for (model, dtype, dims), values in self.curves.items()}
+        blocks = [format_series(series, "k", self.k_values,
+                                title="Figure 10(a) — Dr-acc vs number of permutations k")]
+        rows = [
+            {"configuration": f"{model}-type{dtype}-D{dims}", "k_to_90pct": k_needed}
+            for (model, dtype, dims), k_needed in self.permutations_to_reach().items()
+        ]
+        blocks.append(format_table(rows, title="Figure 10(b) — permutations to reach 90% of best Dr-acc"))
+        return "\n\n".join(blocks)
+
+
+def run_figure10(scale: Optional[ExperimentScale] = None,
+                 seed_name: str = "shapes",
+                 models: Optional[Sequence[str]] = None,
+                 dataset_types: Sequence[int] = (1, 2),
+                 dimensions: Optional[Sequence[int]] = None,
+                 k_values: Optional[Sequence[int]] = None,
+                 base_seed: int = 0) -> Figure10Result:
+    """Run the Figure 10 experiment."""
+    scale = scale or get_scale("small")
+    models = list(models or [m for m in scale.table3_models if m.startswith("d")])
+    dimensions = list(dimensions or scale.dimension_sweep[:2])
+    if k_values is None:
+        maximum = max(4, scale.k_permutations)
+        k_values = sorted({1, 2, max(2, maximum // 4), max(3, maximum // 2), maximum})
+    result = Figure10Result(k_values=list(k_values))
+    for dataset_type in dataset_types:
+        for n_dimensions in dimensions:
+            config_seed = base_seed + 100 * dataset_type + n_dimensions
+            train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
+                                               scale, config_seed)
+            explain_indices = [
+                index for index in range(len(test))
+                if test.y[index] == 1 and test.ground_truth[index].sum() > 0
+            ][: scale.n_explained_instances]
+            for model_name in models:
+                model, _ = train_model(model_name, train, scale, random_state=config_seed)
+                curve = []
+                for k in result.k_values:
+                    rng = np.random.default_rng(config_seed)
+                    scores = [
+                        dr_acc(compute_dcam(model, test.X[index], int(test.y[index]),
+                                            k=k, rng=rng).dcam,
+                               test.ground_truth[index])
+                        for index in explain_indices
+                    ]
+                    curve.append(float(np.mean(scores)))
+                result.curves[(model_name, dataset_type, n_dimensions)] = curve
+    return result

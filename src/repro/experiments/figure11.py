@@ -1,0 +1,117 @@
+"""Figure 11: relations between C-acc, Dr-acc and the ``n_g/k`` proxy.
+
+Each point is one synthetic dataset configuration.  The paper shows, for
+dCNN / dResNet / dInceptionTime, that (1) Dr-acc grows with C-acc, (2) Dr-acc
+grows with ``n_g/k`` and (3) ``n_g/k`` grows roughly linearly with C-acc when
+C-acc ≥ 0.7 — making ``n_g/k`` usable as a label-free proxy of explanation
+quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import ExperimentScale, get_scale
+from .reporting import format_table
+from .runner import (
+    classification_accuracy_of,
+    explanation_accuracy_of,
+    synthetic_train_test,
+    train_model,
+)
+
+
+@dataclass
+class Figure11Point:
+    """One scatter point: a (model, seed, type, D) configuration."""
+
+    model: str
+    seed_name: str
+    dataset_type: int
+    n_dimensions: int
+    c_acc: float
+    dr_acc: float
+    success_ratio: float
+
+
+@dataclass
+class Figure11Result:
+    points: List[Figure11Point] = field(default_factory=list)
+
+    def points_for(self, model: str) -> List[Figure11Point]:
+        return [point for point in self.points if point.model == model]
+
+    def correlation(self, x_attribute: str, y_attribute: str,
+                    model: Optional[str] = None) -> float:
+        """Pearson correlation between two point attributes (e.g. c_acc, dr_acc)."""
+        points = self.points_for(model) if model else self.points
+        if len(points) < 2:
+            return float("nan")
+        x = np.asarray([getattr(point, x_attribute) for point in points])
+        y = np.asarray([getattr(point, y_attribute) for point in points])
+        if np.std(x) == 0 or np.std(y) == 0:
+            return float("nan")
+        return float(np.corrcoef(x, y)[0, 1])
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "model": point.model,
+                "dataset": f"{point.seed_name}-type{point.dataset_type}-D{point.n_dimensions}",
+                "C-acc": point.c_acc,
+                "Dr-acc": point.dr_acc,
+                "ng/k": point.success_ratio,
+            }
+            for point in self.points
+        ]
+
+    def format(self) -> str:
+        table = format_table(self.as_rows(),
+                             title="Figure 11 — (C-acc, Dr-acc, ng/k) per configuration")
+        models = sorted({point.model for point in self.points})
+        lines = [""]
+        for model in models:
+            lines.append(
+                f"{model}: corr(C-acc, Dr-acc)={self.correlation('c_acc', 'dr_acc', model):.2f}  "
+                f"corr(ng/k, Dr-acc)={self.correlation('success_ratio', 'dr_acc', model):.2f}  "
+                f"corr(C-acc, ng/k)={self.correlation('c_acc', 'success_ratio', model):.2f}"
+            )
+        return table + "\n".join(lines)
+
+
+def run_figure11(scale: Optional[ExperimentScale] = None,
+                 models: Optional[Sequence[str]] = None,
+                 seeds: Optional[Sequence[str]] = None,
+                 dataset_types: Sequence[int] = (1, 2),
+                 dimensions: Optional[Sequence[int]] = None,
+                 base_seed: int = 0) -> Figure11Result:
+    """Run the Figure 11 experiment (d-architectures only)."""
+    scale = scale or get_scale("small")
+    models = list(models or [m for m in scale.table3_models if m.startswith("d")])
+    seeds = list(seeds or scale.synthetic_seeds)
+    dimensions = list(dimensions or scale.dimension_sweep)
+    result = Figure11Result()
+    for seed_index, seed_name in enumerate(seeds):
+        for dataset_type in dataset_types:
+            for n_dimensions in dimensions:
+                config_seed = base_seed + 1000 * seed_index + 100 * dataset_type + n_dimensions
+                train, test = synthetic_train_test(seed_name, dataset_type,
+                                                   n_dimensions, scale, config_seed)
+                for model_name in models:
+                    model, _ = train_model(model_name, train, scale, random_state=config_seed)
+                    c_acc = classification_accuracy_of(model, test)
+                    dr_score, ratio = explanation_accuracy_of(model, model_name, test,
+                                                              scale, random_state=config_seed)
+                    result.points.append(Figure11Point(
+                        model=model_name,
+                        seed_name=seed_name,
+                        dataset_type=dataset_type,
+                        n_dimensions=n_dimensions,
+                        c_acc=c_acc,
+                        dr_acc=dr_score,
+                        success_ratio=ratio if ratio is not None else float("nan"),
+                    ))
+    return result

@@ -1,0 +1,158 @@
+"""Figure 12: execution time of training and of the dCAM computation.
+
+Three panels are reproduced:
+
+* (a) training time for one epoch as a function of the series length and of
+  the number of dimensions, for every architecture family;
+* (b) dCAM computation time as a function of the number of dimensions, the
+  series length and the number of permutations ``k``;
+* (c) training convergence: number of epochs and wall-clock time needed to
+  reach 90% of the best validation loss, per architecture variant.
+
+Absolute values depend on the NumPy/CPU substrate (see DESIGN.md); the
+reproduced quantities are the scaling trends (e.g. dCAM time grows
+super-linearly with D, linearly with length and k).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dcam import compute_dcam
+from ..data.synthetic import SyntheticConfig, make_type1_dataset
+from ..models.base import TrainingConfig
+from ..models.registry import create_model
+from .config import ExperimentScale, get_scale
+from .reporting import format_series, format_table
+from .runner import synthetic_train_test, train_model
+
+
+@dataclass
+class Figure12Result:
+    """Timing series for the three panels."""
+
+    epoch_time_vs_length: Dict[str, List[float]] = field(default_factory=dict)
+    lengths: List[int] = field(default_factory=list)
+    epoch_time_vs_dimensions: Dict[str, List[float]] = field(default_factory=dict)
+    dimensions: List[int] = field(default_factory=list)
+    dcam_time_vs_dimensions: Dict[str, List[float]] = field(default_factory=dict)
+    dcam_time_vs_length: Dict[str, List[float]] = field(default_factory=dict)
+    dcam_time_vs_k: Dict[str, List[float]] = field(default_factory=dict)
+    k_values: List[int] = field(default_factory=list)
+    convergence: List[Dict[str, object]] = field(default_factory=list)
+
+    def format(self) -> str:
+        blocks = []
+        if self.epoch_time_vs_length:
+            blocks.append(format_series(self.epoch_time_vs_length, "length", self.lengths,
+                                        title="Figure 12(a.1) — training time for one epoch vs series length (s)"))
+        if self.epoch_time_vs_dimensions:
+            blocks.append(format_series(self.epoch_time_vs_dimensions, "D", self.dimensions,
+                                        title="Figure 12(a.2) — training time for one epoch vs dimensions (s)"))
+        if self.dcam_time_vs_dimensions:
+            blocks.append(format_series(self.dcam_time_vs_dimensions, "D", self.dimensions,
+                                        title="Figure 12(b.1) — dCAM time vs dimensions (s)"))
+        if self.dcam_time_vs_length:
+            blocks.append(format_series(self.dcam_time_vs_length, "length", self.lengths,
+                                        title="Figure 12(b.2) — dCAM time vs series length (s)"))
+        if self.dcam_time_vs_k:
+            blocks.append(format_series(self.dcam_time_vs_k, "k", self.k_values,
+                                        title="Figure 12(b.3) — dCAM time vs permutations k (s)"))
+        if self.convergence:
+            blocks.append(format_table(self.convergence,
+                                       title="Figure 12(c) — epochs / time to reach 90% of best loss"))
+        return "\n\n".join(blocks)
+
+
+def _one_epoch_time(model_name: str, n_dimensions: int, length: int, scale: ExperimentScale,
+                    n_instances: int = 8, seed: int = 0) -> float:
+    """Wall-clock seconds for one training epoch on a synthetic dataset."""
+    config = SyntheticConfig(n_dimensions=n_dimensions, n_instances_per_class=n_instances // 2,
+                             series_length=length,
+                             seed_instance_length=max(8, length // 4),
+                             pattern_length=max(4, length // 8), random_state=seed)
+    dataset = make_type1_dataset(config)
+    rng = np.random.default_rng(seed)
+    model = create_model(model_name, dataset.n_dimensions, dataset.length,
+                         dataset.n_classes, rng=rng, **scale.model_kwargs(model_name))
+    training = TrainingConfig(epochs=1, batch_size=scale.training.batch_size,
+                              learning_rate=scale.training.learning_rate,
+                              patience=10, random_state=seed)
+    history = model.fit(dataset.X, dataset.y, config=training)
+    return float(history.epoch_seconds[0])
+
+
+def run_figure12(scale: Optional[ExperimentScale] = None,
+                 models: Optional[Sequence[str]] = None,
+                 lengths: Optional[Sequence[int]] = None,
+                 dimensions: Optional[Sequence[int]] = None,
+                 k_values: Optional[Sequence[int]] = None,
+                 dcam_model: str = "dcnn",
+                 include_convergence: bool = True,
+                 base_seed: int = 0) -> Figure12Result:
+    """Run the Figure 12 timing experiment."""
+    scale = scale or get_scale("small")
+    models = list(models or ["cnn", "ccnn", "dcnn", "resnet", "dresnet"])
+    lengths = list(lengths or (32, 64))
+    dimensions = list(dimensions or scale.dimension_sweep)
+    if k_values is None:
+        k_values = sorted({2, max(2, scale.k_permutations // 2), scale.k_permutations})
+    result = Figure12Result(lengths=lengths, dimensions=dimensions, k_values=list(k_values))
+
+    # Panel (a): one-epoch training time.
+    base_dims = dimensions[0]
+    base_length = lengths[0]
+    for model_name in models:
+        result.epoch_time_vs_length[model_name] = [
+            _one_epoch_time(model_name, base_dims, length, scale, seed=base_seed)
+            for length in lengths
+        ]
+        result.epoch_time_vs_dimensions[model_name] = [
+            _one_epoch_time(model_name, dims, base_length, scale, seed=base_seed)
+            for dims in dimensions
+        ]
+
+    # Panel (b): dCAM computation time on an (untrained weights are fine) d-model.
+    rng = np.random.default_rng(base_seed)
+    for dims in dimensions:
+        series = rng.standard_normal((dims, base_length))
+        model = create_model(dcam_model, dims, base_length, 2, rng=rng,
+                             **scale.model_kwargs(dcam_model))
+        start = time.perf_counter()
+        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng)
+        result.dcam_time_vs_dimensions.setdefault(dcam_model, []).append(
+            time.perf_counter() - start)
+    for length in lengths:
+        series = rng.standard_normal((base_dims, length))
+        model = create_model(dcam_model, base_dims, length, 2, rng=rng,
+                             **scale.model_kwargs(dcam_model))
+        start = time.perf_counter()
+        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng)
+        result.dcam_time_vs_length.setdefault(dcam_model, []).append(
+            time.perf_counter() - start)
+    series = rng.standard_normal((base_dims, base_length))
+    model = create_model(dcam_model, base_dims, base_length, 2, rng=rng,
+                         **scale.model_kwargs(dcam_model))
+    for k in result.k_values:
+        start = time.perf_counter()
+        compute_dcam(model, series, 0, k=k, rng=rng)
+        result.dcam_time_vs_k.setdefault(dcam_model, []).append(time.perf_counter() - start)
+
+    # Panel (c): convergence (epochs / seconds to 90% of best loss).
+    if include_convergence:
+        for model_name in models:
+            train, _ = synthetic_train_test("shapes", 1, base_dims, scale, base_seed)
+            trained, history = train_model(model_name, train, scale, random_state=base_seed)
+            epochs_needed = history.epochs_to_fraction_of_best(0.9)
+            seconds = float(np.sum(history.epoch_seconds[:epochs_needed]))
+            result.convergence.append({
+                "model": model_name,
+                "epochs_to_90pct": epochs_needed,
+                "seconds_to_90pct": seconds,
+                "epochs_run": history.epochs_run,
+            })
+    return result

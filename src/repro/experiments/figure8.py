@@ -1,0 +1,89 @@
+"""Figure 8: C-acc of the d-architectures vs their counterparts on UEA datasets.
+
+The figure is a set of scatter plots: each point is a dataset, the y-coordinate
+is the C-acc of the d-architecture (dCNN / dResNet / dInceptionTime) and the
+x-coordinate the C-acc of the corresponding plain architecture, c-architecture
+or MTEX-CNN.  Points above the diagonal mean the d-architecture wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import ExperimentScale, get_scale
+from .reporting import format_table
+from .table2 import Table2Result, run_table2
+
+#: The comparison pairs shown in the three panels of Figure 8.
+FIGURE8_PAIRS: Dict[str, List[str]] = {
+    "dcnn": ["cnn", "ccnn", "mtex"],
+    "dresnet": ["resnet", "cresnet", "mtex"],
+    "dinceptiontime": ["inceptiontime", "cinceptiontime", "mtex"],
+}
+
+
+@dataclass
+class Figure8Result:
+    """Scatter points (one per dataset) for each d-vs-baseline comparison."""
+
+    points: Dict[Tuple[str, str], List[Tuple[str, float, float]]] = field(default_factory=dict)
+    table2: Optional[Table2Result] = None
+
+    def wins(self, d_model: str, baseline: str) -> int:
+        """Number of datasets on which the d-architecture is strictly better."""
+        return sum(1 for _, base_acc, d_acc in self.points[(d_model, baseline)]
+                   if d_acc > base_acc)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for (d_model, baseline), points in self.points.items():
+            for dataset, base_acc, d_acc in points:
+                rows.append({
+                    "comparison": f"{d_model} vs {baseline}",
+                    "dataset": dataset,
+                    baseline: base_acc,
+                    d_model: d_acc,
+                    "d_wins": d_acc > base_acc,
+                })
+        return rows
+
+    def format(self) -> str:
+        summary_rows = [
+            {
+                "comparison": f"{d_model} vs {baseline}",
+                "datasets": len(points),
+                "d_wins": self.wins(d_model, baseline),
+            }
+            for (d_model, baseline), points in self.points.items()
+        ]
+        return (
+            format_table(self.as_rows(), title="Figure 8 — scatter points (C-acc pairs)")
+            + "\n\n"
+            + format_table(summary_rows, title="Figure 8 — wins per comparison")
+        )
+
+
+def run_figure8(scale: Optional[ExperimentScale] = None,
+                dataset_names: Optional[Sequence[str]] = None,
+                pairs: Optional[Dict[str, List[str]]] = None,
+                base_seed: int = 0) -> Figure8Result:
+    """Run the Figure 8 experiment (reuses the Table 2 protocol)."""
+    scale = scale or get_scale("small")
+    pairs = pairs or {
+        d_model: [b for b in baselines if b in scale.table2_models or d_model in scale.table2_models]
+        for d_model, baselines in FIGURE8_PAIRS.items()
+        if d_model in scale.table2_models
+    }
+    needed_models = sorted({model for d_model, baselines in pairs.items()
+                            for model in [d_model, *baselines]})
+    table2 = run_table2(scale, dataset_names, models=needed_models, base_seed=base_seed)
+    result = Figure8Result(table2=table2)
+    for d_model, baselines in pairs.items():
+        for baseline in baselines:
+            points = []
+            for dataset, scores in table2.accuracies.items():
+                if d_model in scores and baseline in scores:
+                    points.append((dataset, scores[baseline], scores[d_model]))
+            result.points[(d_model, baseline)] = points
+    return result

@@ -1,0 +1,83 @@
+"""Figure 9: influence of the number of dimensions on C-acc and Dr-acc.
+
+Panels (a.1)/(a.2) plot the C-acc of every method on Type 1 / Type 2 synthetic
+datasets as the number of dimensions grows; (b.1)/(b.2) do the same for
+Dr-acc; (a.3)/(b.3) combine the Type 1 and Type 2 values with their harmonic
+mean ``F``.  This driver reuses the Table 3 protocol and reorganises the
+results into per-model series over the dimension sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..eval.metrics import harmonic_mean
+from .config import ExperimentScale, get_scale
+from .reporting import format_series
+from .table3 import Table3Result, run_table3
+
+
+@dataclass
+class Figure9Result:
+    """Per-model series of C-acc / Dr-acc versus the number of dimensions."""
+
+    dimensions: List[int] = field(default_factory=list)
+    models: List[str] = field(default_factory=list)
+    c_acc: Dict[int, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    dr_acc: Dict[int, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    table3: Optional[Table3Result] = None
+
+    def series(self, metric: str, dataset_type: int) -> Dict[str, List[float]]:
+        """Values of ``metric`` ("c_acc" or "dr_acc") per model across dimensions."""
+        source = self.c_acc if metric == "c_acc" else self.dr_acc
+        return {
+            model: [source[dataset_type][model].get(str(dim), float("nan"))
+                    for dim in self.dimensions]
+            for model in self.models
+        }
+
+    def harmonic_series(self, metric: str) -> Dict[str, List[float]]:
+        """Harmonic mean of the Type 1 and Type 2 values (panels a.3 / b.3)."""
+        type1 = self.series(metric, 1)
+        type2 = self.series(metric, 2)
+        return {
+            model: [harmonic_mean(max(type1[model][i], 0.0), max(type2[model][i], 0.0))
+                    for i in range(len(self.dimensions))]
+            for model in self.models
+        }
+
+    def format(self) -> str:
+        blocks = []
+        for dataset_type in (1, 2):
+            blocks.append(format_series(self.series("c_acc", dataset_type), "D", self.dimensions,
+                                        title=f"Figure 9(a.{dataset_type}) — C-acc, Type {dataset_type}"))
+            blocks.append(format_series(self.series("dr_acc", dataset_type), "D", self.dimensions,
+                                        title=f"Figure 9(b.{dataset_type}) — Dr-acc, Type {dataset_type}"))
+        blocks.append(format_series(self.harmonic_series("c_acc"), "D", self.dimensions,
+                                    title="Figure 9(a.3) — harmonic mean F of C-acc"))
+        blocks.append(format_series(self.harmonic_series("dr_acc"), "D", self.dimensions,
+                                    title="Figure 9(b.3) — harmonic mean F of Dr-acc"))
+        return "\n\n".join(blocks)
+
+
+def run_figure9(scale: Optional[ExperimentScale] = None,
+                seed_name: str = "starlight",
+                dimensions: Optional[Sequence[int]] = None,
+                models: Optional[Sequence[str]] = None,
+                base_seed: int = 0) -> Figure9Result:
+    """Run the Figure 9 experiment."""
+    scale = scale or get_scale("small")
+    dimensions = list(dimensions or scale.dimension_sweep)
+    models = list(models or scale.table3_models)
+    table3 = run_table3(scale, seeds=[seed_name], dataset_types=(1, 2),
+                        dimensions=dimensions, models=models, base_seed=base_seed)
+    result = Figure9Result(dimensions=dimensions, models=models, table3=table3)
+    for dataset_type in (1, 2):
+        result.c_acc[dataset_type] = {model: {} for model in models}
+        result.dr_acc[dataset_type] = {model: {} for model in models}
+    for row in table3.rows:
+        for model in models:
+            result.c_acc[row.dataset_type][model][str(row.n_dimensions)] = row.c_acc[model]
+            result.dr_acc[row.dataset_type][model][str(row.n_dimensions)] = row.dr_acc[model]
+    return result

@@ -1,0 +1,51 @@
+"""Plain-text table / series formatting for experiment outputs.
+
+Every experiment driver returns structured results *and* can render them as
+aligned text tables matching the layout of the paper's tables and figure data
+series, so the benchmark harness can simply print them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,
+                 float_format: str = "{:.3f}", title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return title or "(empty table)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered_rows = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_label: str,
+                  x_values: Sequence[object], float_format: str = "{:.3f}",
+                  title: Optional[str] = None) -> str:
+    """Render one-figure data series: one row per x value, one column per series."""
+    rows: List[Dict[str, object]] = []
+    for index, x_value in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x_value}
+        for name, values in series.items():
+            row[name] = float(values[index]) if index < len(values) else float("nan")
+        rows.append(row)
+    return format_table(rows, [x_label] + list(series), float_format, title)

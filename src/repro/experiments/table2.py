@@ -1,0 +1,100 @@
+"""Table 2: classification accuracy (C-acc) over the UCR/UEA archive.
+
+For every dataset and every architecture (recurrent baselines, MTEX-CNN, the
+plain CNN/ResNet/InceptionTime, their c-variants and their d-variants), train
+the model and report the test C-acc, plus the per-method mean over datasets
+and the average rank — exactly the rows of Table 2 of the paper (on the
+simulated archive, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.splits import train_validation_split
+from ..data.uea import make_uea_dataset
+from ..eval.ranking import average_ranks, mean_scores
+from .config import ExperimentScale, get_scale
+from .reporting import format_table
+from .runner import averaged_over_runs, classification_accuracy_of, train_model
+
+
+@dataclass
+class Table2Result:
+    """C-acc per dataset per model, plus the aggregate rows."""
+
+    accuracies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metadata: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    models: List[str] = field(default_factory=list)
+
+    @property
+    def mean_row(self) -> Dict[str, float]:
+        return mean_scores([self.accuracies[name] for name in self.accuracies])
+
+    @property
+    def rank_row(self) -> Dict[str, float]:
+        return average_ranks([self.accuracies[name] for name in self.accuracies])
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for dataset_name, scores in self.accuracies.items():
+            row: Dict[str, object] = {"dataset": dataset_name}
+            row.update(self.metadata.get(dataset_name, {}))
+            row.update(scores)
+            rows.append(row)
+        mean_row: Dict[str, object] = {"dataset": "Mean"}
+        mean_row.update(self.mean_row)
+        rank_row: Dict[str, object] = {"dataset": "Rank"}
+        rank_row.update(self.rank_row)
+        rows.append(mean_row)
+        rows.append(rank_row)
+        return rows
+
+    def format(self) -> str:
+        columns = ["dataset", "classes", "length", "dimensions"] + list(self.models)
+        return format_table(self.as_rows(), columns,
+                            title="Table 2 — C-acc over (simulated) UCR/UEA datasets")
+
+
+def run_table2(scale: Optional[ExperimentScale] = None,
+               dataset_names: Optional[Sequence[str]] = None,
+               models: Optional[Sequence[str]] = None,
+               base_seed: int = 0) -> Table2Result:
+    """Run the Table 2 experiment.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale (defaults to the ``small`` preset).
+    dataset_names:
+        UEA dataset names to include (defaults to a representative subset at
+        reduced scales — pass :data:`repro.data.UEA_DATASET_NAMES` for all 23).
+    models:
+        Architectures to evaluate (defaults to the scale's ``table2_models``).
+    """
+    scale = scale or get_scale("small")
+    models = list(models or scale.table2_models)
+    if dataset_names is None:
+        dataset_names = ["BasicMotions", "RacketSports", "Epilepsy"]
+    result = Table2Result(models=models)
+    for dataset_index, dataset_name in enumerate(dataset_names):
+        dataset = make_uea_dataset(dataset_name, scale.uea)
+        train, test = train_validation_split(dataset, 0.75,
+                                             random_state=base_seed + dataset_index)
+        n_classes, length, n_dims = dataset.metadata["scaled_metadata"]
+        result.metadata[dataset_name] = {
+            "classes": n_classes, "length": length, "dimensions": n_dims,
+        }
+        scores: Dict[str, float] = {}
+        for model_name in models:
+            run_scores = []
+            for run in range(scale.n_runs):
+                seed = base_seed + 100 * dataset_index + run
+                model, _ = train_model(model_name, train, scale, random_state=seed)
+                run_scores.append(classification_accuracy_of(model, test))
+            scores[model_name] = averaged_over_runs(run_scores)
+        result.accuracies[dataset_name] = scores
+    return result

@@ -1,0 +1,50 @@
+"""Classification architectures evaluated in the paper."""
+
+from .base import BaseClassifier, TrainingConfig, TrainingHistory
+from .cnn import CCNNClassifier, CNNClassifier, DCNNClassifier, PAPER_CNN_FILTERS
+from .conv_common import ConvBackboneClassifier
+from .inception import (
+    CInceptionTimeClassifier,
+    DInceptionTimeClassifier,
+    InceptionTimeClassifier,
+)
+from .mtex import MTEXCNNClassifier
+from .recurrent import GRUClassifier, LSTMClassifier, RNNClassifier
+from .registry import (
+    BASELINE_MODELS,
+    C_BASELINE_MODELS,
+    CUBE_MODELS,
+    D_MODELS,
+    MODEL_REGISTRY,
+    available_models,
+    create_model,
+)
+from .resnet import CResNetClassifier, DResNetClassifier, ResNetClassifier
+
+__all__ = [
+    "BaseClassifier",
+    "TrainingConfig",
+    "TrainingHistory",
+    "ConvBackboneClassifier",
+    "CNNClassifier",
+    "CCNNClassifier",
+    "DCNNClassifier",
+    "PAPER_CNN_FILTERS",
+    "ResNetClassifier",
+    "CResNetClassifier",
+    "DResNetClassifier",
+    "InceptionTimeClassifier",
+    "CInceptionTimeClassifier",
+    "DInceptionTimeClassifier",
+    "MTEXCNNClassifier",
+    "RNNClassifier",
+    "LSTMClassifier",
+    "GRUClassifier",
+    "MODEL_REGISTRY",
+    "BASELINE_MODELS",
+    "C_BASELINE_MODELS",
+    "D_MODELS",
+    "CUBE_MODELS",
+    "available_models",
+    "create_model",
+]

@@ -1,0 +1,248 @@
+"""Common training / prediction machinery for all classifier architectures.
+
+Every architecture in :mod:`repro.models` follows the same contract:
+
+* :meth:`BaseClassifier.prepare_input` converts a raw batch of multivariate
+  series ``(batch, D, n)`` into the tensor layout the architecture expects
+  (identity for 1D architectures, a channel axis for the c-architectures, the
+  ``C(T)`` cube for the d-architectures).
+* :meth:`BaseClassifier.features` returns the output of the last convolutional
+  block (the ``A_m`` maps used by CAM/dCAM); architectures without a GAP-based
+  CAM (the recurrent baselines) raise :class:`NotImplementedError`.
+* :meth:`BaseClassifier.forward` maps the prepared input to class logits.
+
+Training follows the paper's protocol (Section 5.2): Adam, cross-entropy,
+mini-batches, early stopping on the validation loss.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Adam, Module, Tensor, cross_entropy
+from ..nn.optim import clip_grad_norm
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run.
+
+    The paper uses ``learning_rate=1e-5``, ``batch_size=16`` and up to 1000
+    epochs with early stopping; those values are impractically slow for the
+    CPU-only NumPy substrate, so the defaults here are scaled (larger learning
+    rate, fewer epochs) while remaining overridable to the paper's values.
+    """
+
+    epochs: int = 50
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    patience: int = 10
+    min_delta: float = 1e-4
+    gradient_clip: Optional[float] = 5.0
+    shuffle: bool = True
+    verbose: bool = False
+    random_state: Optional[int] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded by :meth:`BaseClassifier.fit`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    validation_loss: List[float] = field(default_factory=list)
+    validation_accuracy: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    best_epoch: int = 0
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+    def best_validation_loss(self) -> float:
+        if not self.validation_loss:
+            return float("nan")
+        return float(np.min(self.validation_loss))
+
+    def epochs_to_fraction_of_best(self, fraction: float = 0.9) -> int:
+        """Epochs needed to reach ``fraction`` of the way to the best loss.
+
+        Used by the Figure 12(c) convergence experiment ("number of epochs to
+        reach 90% of best loss").
+        """
+        losses = np.asarray(self.validation_loss if self.validation_loss else self.train_loss)
+        if len(losses) == 0:
+            return 0
+        start, best = losses[0], losses.min()
+        target = start - fraction * (start - best)
+        reached = np.flatnonzero(losses <= target)
+        return int(reached[0]) + 1 if len(reached) else len(losses)
+
+
+class BaseClassifier(Module):
+    """Abstract multivariate-series classifier."""
+
+    #: How :meth:`prepare_input` reorganises raw series: "raw" (1D models),
+    #: "channel" (c-models) or "cube" (d-models).
+    input_kind: str = "raw"
+    #: Whether the architecture ends with GAP + dense, i.e. supports CAM.
+    supports_cam: bool = False
+
+    def __init__(self, n_dimensions: int, length: int, n_classes: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if n_dimensions < 1 or length < 1 or n_classes < 2:
+            raise ValueError("invalid problem shape")
+        self.n_dimensions = n_dimensions
+        self.length = length
+        self.n_classes = n_classes
+        self.rng = rng or np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Architecture contract
+    # ------------------------------------------------------------------
+    def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
+        """Convert a raw batch ``(batch, D, n)`` to the architecture's layout.
+
+        ``order`` (a dimension permutation) is only meaningful for the
+        d-architectures and rejected elsewhere.
+        """
+        if order is not None:
+            raise ValueError(f"{type(self).__name__} does not accept dimension permutations")
+        return Tensor(np.asarray(X, dtype=np.float64))
+
+    def features(self, x: Tensor) -> Tensor:
+        """Output of the last convolutional block (the CAM feature maps)."""
+        raise NotImplementedError(f"{type(self).__name__} does not expose CAM feature maps")
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Prediction helpers
+    # ------------------------------------------------------------------
+    def logits(self, X: np.ndarray, batch_size: int = 32) -> np.ndarray:
+        """Class logits for a raw batch of series, computed in eval mode."""
+        self.eval()
+        outputs = []
+        for start in range(0, len(X), batch_size):
+            batch = X[start: start + batch_size]
+            outputs.append(self.forward(self.prepare_input(batch)).data)
+        return np.concatenate(outputs, axis=0)
+
+    def predict_proba(self, X: np.ndarray, batch_size: int = 32) -> np.ndarray:
+        logits = self.logits(X, batch_size)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray, batch_size: int = 32) -> np.ndarray:
+        return self.logits(X, batch_size).argmax(axis=1)
+
+    def score(self, X: np.ndarray, y: np.ndarray, batch_size: int = 32) -> float:
+        """Classification accuracy (the paper's C-acc) on ``(X, y)``."""
+        predictions = self.predict(X, batch_size)
+        return float(np.mean(predictions == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def _evaluate_loss(self, X: np.ndarray, y: np.ndarray, batch_size: int) -> Tuple[float, float]:
+        self.eval()
+        losses, correct, total = [], 0, 0
+        for start in range(0, len(X), batch_size):
+            batch_X = X[start: start + batch_size]
+            batch_y = y[start: start + batch_size]
+            logits = self.forward(self.prepare_input(batch_X))
+            loss = cross_entropy(logits, batch_y)
+            losses.append(loss.item() * len(batch_X))
+            correct += int((logits.data.argmax(axis=1) == batch_y).sum())
+            total += len(batch_X)
+        return float(np.sum(losses) / total), correct / total
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+            config: Optional[TrainingConfig] = None) -> TrainingHistory:
+        """Train with Adam + cross-entropy and early stopping.
+
+        Parameters
+        ----------
+        X, y:
+            Training series ``(instances, D, n)`` and integer labels.
+        validation_data:
+            Optional ``(X_val, y_val)`` pair used for early stopping.
+        config:
+            Training hyper-parameters; see :class:`TrainingConfig`.
+        """
+        config = config or TrainingConfig()
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 3:
+            raise ValueError("X must be (instances, dimensions, length)")
+        if X.shape[1] != self.n_dimensions or X.shape[2] != self.length:
+            raise ValueError(
+                f"model built for (D={self.n_dimensions}, n={self.length}) "
+                f"but got series of shape {X.shape[1:]}"
+            )
+        rng = np.random.default_rng(config.random_state)
+        optimizer = Adam(self.parameters(), lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+        history = TrainingHistory()
+        best_loss = float("inf")
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        epochs_without_improvement = 0
+
+        for epoch in range(config.epochs):
+            start_time = time.perf_counter()
+            self.train()
+            indices = rng.permutation(len(X)) if config.shuffle else np.arange(len(X))
+            epoch_losses = []
+            for start in range(0, len(X), config.batch_size):
+                batch_idx = indices[start: start + config.batch_size]
+                logits = self.forward(self.prepare_input(X[batch_idx]))
+                loss = cross_entropy(logits, y[batch_idx])
+                optimizer.zero_grad()
+                loss.backward()
+                if config.gradient_clip is not None:
+                    clip_grad_norm(self.parameters(), config.gradient_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.epoch_seconds.append(time.perf_counter() - start_time)
+
+            if validation_data is not None:
+                val_loss, val_acc = self._evaluate_loss(validation_data[0],
+                                                        validation_data[1],
+                                                        config.batch_size)
+                history.validation_loss.append(val_loss)
+                history.validation_accuracy.append(val_acc)
+                monitored = val_loss
+            else:
+                monitored = history.train_loss[-1]
+
+            if config.verbose:  # pragma: no cover - logging only
+                message = f"epoch {epoch + 1}/{config.epochs} train_loss={history.train_loss[-1]:.4f}"
+                if validation_data is not None:
+                    message += f" val_loss={history.validation_loss[-1]:.4f}"
+                    message += f" val_acc={history.validation_accuracy[-1]:.3f}"
+                print(message)
+
+            if monitored < best_loss - config.min_delta:
+                best_loss = monitored
+                best_state = self.state_dict()
+                history.best_epoch = epoch
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= config.patience:
+                    history.stopped_early = True
+                    break
+
+        if best_state is not None:
+            self.load_state_dict(best_state)
+        return history

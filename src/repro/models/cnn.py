@@ -1,0 +1,103 @@
+"""The CNN family: CNN (1D), cCNN and dCNN (Sections 2.1, 2.3 and 4.2).
+
+The paper's setup (Section 5.2) uses five convolutional layers with
+``(64, 128, 256, 256, 256)`` filters and kernel size 3 for all three variants.
+Each convolution is followed by batch normalisation and a ReLU, the last layer
+feeds a global average pooling layer and a dense softmax classifier.
+
+Unlike the paper we use "same" padding (``kernel // 2``) instead of padding 2,
+so that the CAM time axis aligns exactly with the input time axis; this only
+changes the feature-map length bookkeeping, not the architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import BatchNorm, Conv1d, Conv2d, ReLU, Sequential
+from .base import BaseClassifier
+from .conv_common import ChannelInputMixin, ConvBackboneClassifier, CubeInputMixin
+
+#: Filter counts used in the paper's experiments.
+PAPER_CNN_FILTERS: Tuple[int, ...] = (64, 128, 256, 256, 256)
+
+
+def _conv_block_1d(in_channels: int, out_channels: int, kernel_size: int,
+                   rng: np.random.Generator) -> Sequential:
+    padding = kernel_size // 2
+    return Sequential(
+        Conv1d(in_channels, out_channels, kernel_size, padding=padding, rng=rng),
+        BatchNorm(out_channels),
+        ReLU(),
+    )
+
+
+def _conv_block_2d(in_channels: int, out_channels: int, kernel_size: int,
+                   rng: np.random.Generator) -> Sequential:
+    padding = (0, kernel_size // 2)
+    return Sequential(
+        Conv2d(in_channels, out_channels, (1, kernel_size), padding=padding, rng=rng),
+        BatchNorm(out_channels),
+        ReLU(),
+    )
+
+
+class CNNClassifier(ConvBackboneClassifier):
+    """Standard 1D CNN whose first-layer kernels span all dimensions."""
+
+    input_kind = "raw"
+
+    def __init__(self, n_dimensions: int, length: int, n_classes: int,
+                 filters: Sequence[int] = PAPER_CNN_FILTERS, kernel_size: int = 3,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(n_dimensions, length, n_classes, rng)
+        if not filters:
+            raise ValueError("filters must not be empty")
+        blocks = []
+        in_channels = n_dimensions
+        for out_channels in filters:
+            blocks.append(_conv_block_1d(in_channels, out_channels, kernel_size, self.rng))
+            in_channels = out_channels
+        self.feature_extractor = Sequential(*blocks)
+        self.feature_channels = in_channels
+        self._build_head()
+
+
+class CCNNClassifier(ChannelInputMixin, ConvBackboneClassifier):
+    """cCNN baseline: 2D CNN whose ``(1, ℓ)`` kernels never compare dimensions."""
+
+    def __init__(self, n_dimensions: int, length: int, n_classes: int,
+                 filters: Sequence[int] = PAPER_CNN_FILTERS, kernel_size: int = 3,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(n_dimensions, length, n_classes, rng)
+        if not filters:
+            raise ValueError("filters must not be empty")
+        blocks = []
+        in_channels = 1
+        for out_channels in filters:
+            blocks.append(_conv_block_2d(in_channels, out_channels, kernel_size, self.rng))
+            in_channels = out_channels
+        self.feature_extractor = Sequential(*blocks)
+        self.feature_channels = in_channels
+        self._build_head()
+
+
+class DCNNClassifier(CubeInputMixin, ConvBackboneClassifier):
+    """dCNN: the paper's architecture operating on the ``C(T)`` cube."""
+
+    def __init__(self, n_dimensions: int, length: int, n_classes: int,
+                 filters: Sequence[int] = PAPER_CNN_FILTERS, kernel_size: int = 3,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(n_dimensions, length, n_classes, rng)
+        if not filters:
+            raise ValueError("filters must not be empty")
+        blocks = []
+        in_channels = n_dimensions
+        for out_channels in filters:
+            blocks.append(_conv_block_2d(in_channels, out_channels, kernel_size, self.rng))
+            in_channels = out_channels
+        self.feature_extractor = Sequential(*blocks)
+        self.feature_channels = in_channels
+        self._build_head()

@@ -1,0 +1,94 @@
+"""Shared plumbing for the convolutional architecture families.
+
+The paper derives three variants of every convolutional architecture
+(Section 2.3 and 4):
+
+* the **plain** variant (CNN / ResNet / InceptionTime) consumes the raw
+  ``(batch, D, n)`` series with 1D convolutions whose kernels span all
+  dimensions — CAM is univariate;
+* the **c-variant** (cCNN / cResNet / cInceptionTime) consumes a
+  ``(batch, 1, D, n)`` image with ``(1, ℓ)`` kernels that slide over each
+  dimension independently — CAM is multivariate but dimensions are never
+  compared;
+* the **d-variant** (dCNN / dResNet / dInceptionTime) consumes the ``C(T)``
+  cube as a ``(batch, D, D, n)`` image (channels = position within a cube
+  row) with ``(1, ℓ)`` kernels whose channel extent spans all dimensions —
+  CAM is multivariate *and* dimensions are compared.
+
+All three share the same head (GAP + dense), which is what enables CAM.  This
+module factors the head, the CAM-feature access, and the input preparation for
+each variant, so the architecture files only describe their convolutional
+trunks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.input_transform import build_cube_batch
+from ..nn import GlobalAveragePooling, Linear, Module, Tensor
+from .base import BaseClassifier
+
+
+class ConvBackboneClassifier(BaseClassifier):
+    """A convolutional trunk followed by global average pooling and a dense layer.
+
+    Sub-classes must set ``self.feature_extractor`` (a :class:`Module` mapping
+    the prepared input to the last convolutional feature maps) and
+    ``self.feature_channels`` before calling :meth:`_build_head`.
+    """
+
+    supports_cam = True
+
+    feature_extractor: Module
+    feature_channels: int
+
+    def _build_head(self) -> None:
+        self.gap = GlobalAveragePooling()
+        self.classifier = Linear(self.feature_channels, self.n_classes, rng=self.rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Feature maps ``A_m`` of the last convolutional layer."""
+        return self.feature_extractor(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.gap(self.features(x)))
+
+    @property
+    def class_weights(self) -> np.ndarray:
+        """Dense-layer weights ``w_m^{C_j}`` of shape ``(n_classes, n_filters)``."""
+        return self.classifier.weight.data
+
+
+class ChannelInputMixin:
+    """Input preparation of the c-architectures: add a singleton channel axis."""
+
+    input_kind = "channel"
+
+    def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
+        if order is not None:
+            raise ValueError("c-architectures do not accept dimension permutations")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 3:
+            raise ValueError("expected a batch of shape (batch, D, n)")
+        return Tensor(X[:, None, :, :])
+
+
+class CubeInputMixin:
+    """Input preparation of the d-architectures: the ``C(T)`` cube.
+
+    The cube ``(batch, rows, positions, n)`` is transposed so that the
+    positions-within-a-row axis becomes the channel axis expected by
+    :class:`repro.nn.Conv2d`, giving ``(batch, D, D_rows, n)``.
+    """
+
+    input_kind = "cube"
+
+    def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 3:
+            raise ValueError("expected a batch of shape (batch, D, n)")
+        cube = build_cube_batch(X, order)
+        return Tensor(np.ascontiguousarray(np.swapaxes(cube, 1, 2)))

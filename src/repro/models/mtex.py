@@ -1,0 +1,88 @@
+"""MTEX-CNN baseline (Assaf et al., ICDM 2019) — Section 2.3 of the paper.
+
+MTEX-CNN is a two-block architecture designed to explain multivariate series:
+
+* **Block 1** applies 2D convolutions with ``(1, ℓ)`` kernels, treating each
+  dimension independently (exactly like cCNN).  Its last feature maps are
+  explained with grad-CAM to attribute importance per dimension and time.
+* **Block 2** collapses the dimension axis with a ``(D, 1)`` convolution and
+  continues with 1D convolutions over time, enabling (limited) comparison of
+  dimensions; its feature maps are explained with a temporal grad-CAM.
+* A dense classification head follows.
+
+The paper uses it as a representative of architectures that separate the
+"which dimension" and "which time window" questions, and shows that it fails
+on cross-dimension (Type 2) discriminant features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import BatchNorm, Conv1d, Conv2d, Linear, ReLU, Sequential, Tensor
+from ..nn import functional as F
+from .base import BaseClassifier
+
+
+class MTEXCNNClassifier(BaseClassifier):
+    """MTEX-CNN: per-dimension 2D block followed by a dimension-merging 1D block."""
+
+    input_kind = "channel"
+    supports_cam = False  # explanation uses grad-CAM, not GAP-based CAM
+
+    def __init__(self, n_dimensions: int, length: int, n_classes: int,
+                 block1_filters: Tuple[int, int] = (16, 32), block2_filters: int = 32,
+                 kernel_size: int = 3, hidden_units: int = 64,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(n_dimensions, length, n_classes, rng)
+        padding = (0, kernel_size // 2)
+        filters1, filters2 = block1_filters
+        self.block1 = Sequential(
+            Conv2d(1, filters1, (1, kernel_size), padding=padding, rng=self.rng),
+            BatchNorm(filters1),
+            ReLU(),
+            Conv2d(filters1, filters2, (1, kernel_size), padding=padding, rng=self.rng),
+            BatchNorm(filters2),
+            ReLU(),
+        )
+        # Merge the dimension axis: kernel spanning all D rows.
+        self.merge = Conv2d(filters2, block2_filters, (n_dimensions, 1), rng=self.rng)
+        self.block2 = Sequential(
+            Conv1d(block2_filters, block2_filters, kernel_size,
+                   padding=kernel_size // 2, rng=self.rng),
+            BatchNorm(block2_filters),
+            ReLU(),
+        )
+        self.hidden = Linear(block2_filters, hidden_units, rng=self.rng)
+        self.output = Linear(hidden_units, n_classes, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    # Input preparation / forward pass
+    # ------------------------------------------------------------------
+    def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
+        if order is not None:
+            raise ValueError("MTEX-CNN does not accept dimension permutations")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 3:
+            raise ValueError("expected a batch of shape (batch, D, n)")
+        return Tensor(X[:, None, :, :])
+
+    def block1_features(self, x: Tensor) -> Tensor:
+        """Per-dimension feature maps of shape ``(batch, filters, D, n)``."""
+        return self.block1(x)
+
+    def block2_features(self, x: Tensor) -> Tensor:
+        """Temporal feature maps of shape ``(batch, filters, n)`` after merging."""
+        merged = self.merge(self.block1_features(x))  # (batch, filters, 1, n)
+        return self.block2(merged.squeeze(axis=2))
+
+    def features(self, x: Tensor) -> Tensor:
+        """Expose block-1 maps as the "explanation" features (per dimension)."""
+        return self.block1_features(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        temporal = self.block2_features(x)
+        pooled = F.global_average_pool(temporal)
+        return self.output(self.hidden(pooled).relu())

@@ -1,0 +1,56 @@
+"""Recurrent baselines: RNN, LSTM and GRU classifiers (Section 5.2).
+
+The paper uses one recurrent hidden layer of 128 neurons followed by a dense
+layer mapping to the class neurons, following the UCR/UEA evaluation protocol
+of Smirnov & Mephu Nguifo (2018).  These models cannot produce a CAM (no GAP
+over convolutional features) and serve purely as accuracy baselines in
+Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, RecurrentLayer, Tensor
+from .base import BaseClassifier
+
+#: Hidden size used in the paper's recurrent baselines.
+PAPER_RECURRENT_HIDDEN = 128
+
+
+class _RecurrentClassifier(BaseClassifier):
+    """Shared implementation of the recurrent baselines."""
+
+    cell_type: str = "rnn"
+    input_kind = "raw"
+    supports_cam = False
+
+    def __init__(self, n_dimensions: int, length: int, n_classes: int,
+                 hidden_size: int = PAPER_RECURRENT_HIDDEN,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(n_dimensions, length, n_classes, rng)
+        self.recurrent = RecurrentLayer(self.cell_type, n_dimensions, hidden_size, rng=self.rng)
+        self.classifier = Linear(hidden_size, n_classes, rng=self.rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.recurrent(x))
+
+
+class RNNClassifier(_RecurrentClassifier):
+    """Vanilla (Elman) RNN baseline."""
+
+    cell_type = "rnn"
+
+
+class LSTMClassifier(_RecurrentClassifier):
+    """LSTM baseline."""
+
+    cell_type = "lstm"
+
+
+class GRUClassifier(_RecurrentClassifier):
+    """GRU baseline."""
+
+    cell_type = "gru"

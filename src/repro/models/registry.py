@@ -1,0 +1,70 @@
+"""Model registry: build any of the paper's architectures by name.
+
+Names follow the paper's terminology:
+
+``rnn, gru, lstm`` — recurrent baselines;
+``cnn, resnet, inceptiontime`` — plain 1D convolutional architectures (CAM);
+``ccnn, cresnet, cinceptiontime`` — c-variants (cCAM);
+``dcnn, dresnet, dinceptiontime`` — d-variants (dCAM);
+``mtex`` — MTEX-CNN (grad-CAM based explanation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .base import BaseClassifier
+from .cnn import CCNNClassifier, CNNClassifier, DCNNClassifier
+from .inception import (
+    CInceptionTimeClassifier,
+    DInceptionTimeClassifier,
+    InceptionTimeClassifier,
+)
+from .mtex import MTEXCNNClassifier
+from .recurrent import GRUClassifier, LSTMClassifier, RNNClassifier
+from .resnet import CResNetClassifier, DResNetClassifier, ResNetClassifier
+
+MODEL_REGISTRY: Dict[str, type] = {
+    "rnn": RNNClassifier,
+    "gru": GRUClassifier,
+    "lstm": LSTMClassifier,
+    "mtex": MTEXCNNClassifier,
+    "cnn": CNNClassifier,
+    "resnet": ResNetClassifier,
+    "inceptiontime": InceptionTimeClassifier,
+    "ccnn": CCNNClassifier,
+    "cresnet": CResNetClassifier,
+    "cinceptiontime": CInceptionTimeClassifier,
+    "dcnn": DCNNClassifier,
+    "dresnet": DResNetClassifier,
+    "dinceptiontime": DInceptionTimeClassifier,
+}
+
+#: Architecture groups as reported in Table 2 of the paper.
+BASELINE_MODELS: List[str] = ["rnn", "gru", "lstm", "mtex", "cnn", "resnet", "inceptiontime"]
+C_BASELINE_MODELS: List[str] = ["ccnn", "cresnet", "cinceptiontime"]
+D_MODELS: List[str] = ["dcnn", "dresnet", "dinceptiontime"]
+
+#: Models whose explanations use the ``C(T)`` cube (i.e. support dCAM).
+CUBE_MODELS: List[str] = list(D_MODELS)
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`create_model`."""
+    return list(MODEL_REGISTRY)
+
+
+def create_model(name: str, n_dimensions: int, length: int, n_classes: int,
+                 rng: Optional[np.random.Generator] = None, **kwargs) -> BaseClassifier:
+    """Instantiate an architecture by (case-insensitive) name.
+
+    Extra keyword arguments are forwarded to the architecture constructor
+    (e.g. ``filters`` for the CNN family, ``depth`` for InceptionTime).
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    model_class = MODEL_REGISTRY[key]
+    return model_class(n_dimensions, length, n_classes, rng=rng, **kwargs)

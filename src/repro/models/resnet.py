@@ -1,0 +1,121 @@
+"""The ResNet family: ResNet, cResNet and dResNet (Sections 2.1, 2.3, 4.3).
+
+Follows the time-series ResNet of Wang et al. used by the paper: three
+residual blocks of three convolutional layers with kernel sizes (8, 5, 3) and
+(64, 64, 128) filters, each convolution followed by batch normalisation, a
+shortcut connection around every block, and a GAP + dense head.
+
+The c- and d-variants replace the 1D convolutions with ``(1, ℓ)`` 2D
+convolutions exactly as described for dCNN (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import BatchNorm, Conv1d, Conv2d, Identity, Module, ReLU, Sequential, Tensor
+from .conv_common import ChannelInputMixin, ConvBackboneClassifier, CubeInputMixin
+
+#: Filter counts of the three residual blocks in the paper's setup.
+PAPER_RESNET_FILTERS: Tuple[int, ...] = (64, 64, 128)
+#: Kernel sizes of the three convolutions inside each block.
+PAPER_RESNET_KERNELS: Tuple[int, ...] = (8, 5, 3)
+
+
+def _make_conv(two_dimensional: bool, in_channels: int, out_channels: int,
+               kernel_size: int, rng: np.random.Generator) -> Module:
+    # Even kernels with symmetric "same" padding would change the series length
+    # and break the residual additions, so even sizes are rounded down to odd.
+    if kernel_size % 2 == 0:
+        kernel_size -= 1
+    if two_dimensional:
+        return Conv2d(in_channels, out_channels, (1, kernel_size),
+                      padding=(0, kernel_size // 2), rng=rng)
+    return Conv1d(in_channels, out_channels, kernel_size,
+                  padding=kernel_size // 2, rng=rng)
+
+
+class ResidualBlock(Module):
+    """Three convolutions with batch norm plus a shortcut connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_sizes: Sequence[int],
+                 two_dimensional: bool, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.convolutions = []
+        self.norms = []
+        channels = in_channels
+        for kernel_size in kernel_sizes:
+            self.convolutions.append(
+                _make_conv(two_dimensional, channels, out_channels, kernel_size, rng))
+            self.norms.append(BatchNorm(out_channels))
+            channels = out_channels
+        if in_channels != out_channels:
+            self.shortcut: Module = _make_conv(two_dimensional, in_channels, out_channels, 1, rng)
+            self.shortcut_norm: Module = BatchNorm(out_channels)
+        else:
+            self.shortcut = Identity()
+            self.shortcut_norm = Identity()
+        self.activation = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        last = len(self.convolutions) - 1
+        for index, (conv, norm) in enumerate(zip(self.convolutions, self.norms)):
+            out = norm(conv(out))
+            if index != last:
+                out = self.activation(out)
+        shortcut = self.shortcut_norm(self.shortcut(x))
+        return self.activation(out + shortcut)
+
+
+class _ResNetBase(ConvBackboneClassifier):
+    """Shared trunk builder for the three ResNet variants."""
+
+    two_dimensional: bool = False
+
+    def __init__(self, n_dimensions: int, length: int, n_classes: int,
+                 filters: Sequence[int] = PAPER_RESNET_FILTERS,
+                 kernel_sizes: Sequence[int] = PAPER_RESNET_KERNELS,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(n_dimensions, length, n_classes, rng)
+        if not filters:
+            raise ValueError("filters must not be empty")
+        in_channels = self._input_channels()
+        blocks = []
+        for out_channels in filters:
+            blocks.append(ResidualBlock(in_channels, out_channels, kernel_sizes,
+                                        self.two_dimensional, self.rng))
+            in_channels = out_channels
+        self.feature_extractor = Sequential(*blocks)
+        self.feature_channels = in_channels
+        self._build_head()
+
+    def _input_channels(self) -> int:
+        return self.n_dimensions
+
+
+class ResNetClassifier(_ResNetBase):
+    """Standard 1D time-series ResNet."""
+
+    input_kind = "raw"
+    two_dimensional = False
+
+
+class CResNetClassifier(ChannelInputMixin, _ResNetBase):
+    """cResNet baseline: dimensions treated as image rows, never compared."""
+
+    two_dimensional = True
+
+    def _input_channels(self) -> int:
+        return 1
+
+
+class DResNetClassifier(CubeInputMixin, _ResNetBase):
+    """dResNet: ResNet over the ``C(T)`` cube (supports dCAM)."""
+
+    two_dimensional = True
+
+    def _input_channels(self) -> int:
+        return self.n_dimensions

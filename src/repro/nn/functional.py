@@ -1,0 +1,246 @@
+"""Neural-network operations on :class:`~repro.nn.tensor.Tensor` objects.
+
+The convolution implementations use an im2col / col2im strategy so that the
+heavy lifting is done by vectorised NumPy matrix multiplications, which keeps
+CPU-only training of the paper's architectures tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im helpers (2D)
+# ---------------------------------------------------------------------------
+def _im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, channels, height, width)``.
+    kernel, stride, padding:
+        Kernel size, stride and zero padding as ``(vertical, horizontal)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(batch, out_h, out_w, channels * kh * kw)``.
+    out_shape:
+        The spatial output shape ``(out_h, out_w)``.
+    """
+    batch, channels, height, width = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    padded_h, padded_w = x.shape[2], x.shape[3]
+    out_h = (padded_h - kh) // sh + 1
+    out_w = (padded_w - kw) // sw + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+        writeable=False,
+    )
+    # (batch, out_h, out_w, channels, kh, kw) -> columns
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h, out_w, channels * kh * kw
+    )
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Scatter column gradients back to image gradients (inverse of im2col)."""
+    batch, channels, height, width = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    padded_h, padded_w = height + 2 * ph, width + 2 * pw
+    out_h = (padded_h - kh) // sh + 1
+    out_w = (padded_w - kw) // sw + 1
+    grad_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+    # cols: (batch, out_h, out_w, channels * kh * kw)
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    for i in range(kh):
+        row_end = i + sh * out_h
+        for j in range(kw):
+            col_end = j + sw * out_w
+            grad_padded[:, :, i:row_end:sh, j:col_end:sw] += cols[
+                :, :, :, :, i, j
+            ].transpose(0, 3, 1, 2)
+    if ph or pw:
+        return grad_padded[:, :, ph : ph + height, pw : pw + width]
+    return grad_padded
+
+
+# ---------------------------------------------------------------------------
+# Convolutions
+# ---------------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> Tensor:
+    """2D cross-correlation.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(batch, in_channels, height, width)``.
+    weight:
+        Kernel tensor of shape ``(out_channels, in_channels, kh, kw)``.
+    bias:
+        Optional bias of shape ``(out_channels,)``.
+    """
+    batch = x.shape[0]
+    out_channels, in_channels, kh, kw = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+    cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding)
+    cols_2d = cols.reshape(-1, in_channels * kh * kw)
+    weight_2d = weight.data.reshape(out_channels, -1)
+    out = cols_2d @ weight_2d.T
+    out = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_channels, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    input_shape = x.shape
+
+    def backward(grad: np.ndarray):
+        # grad: (batch, out_channels, out_h, out_w)
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        grad_weight = (grad_flat.T @ cols_2d).reshape(weight.shape)
+        grad_cols = (grad_flat @ weight_2d).reshape(batch, out_h, out_w, -1)
+        grad_input = _col2im(grad_cols, input_shape, (kh, kw), stride, padding)
+        if bias is None:
+            return (grad_input, grad_weight)
+        grad_bias = grad.sum(axis=(0, 2, 3))
+        return (grad_input, grad_weight, grad_bias)
+
+    return Tensor._make(out, parents, backward, name="conv2d")
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """1D cross-correlation over ``(batch, in_channels, length)`` inputs."""
+    x4 = x.expand_dims(2)  # (batch, channels, 1, length)
+    w4 = weight.expand_dims(2)  # (out, in, 1, k)
+    out = conv2d(x4, w4, bias, stride=(1, stride), padding=(0, padding))
+    return out.squeeze(axis=2)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: Tuple[int, int], stride: Optional[Tuple[int, int]] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) spatial windows."""
+    stride = stride or kernel
+    kh, kw = kernel
+    sh, sw = stride
+    batch, channels, height, width = x.shape
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+    s0, s1, s2, s3 = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+        writeable=False,
+    )
+    out = windows.max(axis=(4, 5))
+    # indices of maxima for backward
+    flat = windows.reshape(batch, channels, out_h, out_w, kh * kw)
+    argmax = flat.argmax(axis=-1)
+    input_shape = x.shape
+
+    def backward(grad: np.ndarray):
+        grad_input = np.zeros(input_shape, dtype=grad.dtype)
+        ih = argmax // kw
+        iw = argmax % kw
+        b_idx, c_idx, oh_idx, ow_idx = np.indices(argmax.shape)
+        rows = oh_idx * sh + ih
+        cols = ow_idx * sw + iw
+        np.add.at(grad_input, (b_idx, c_idx, rows, cols), grad)
+        return (grad_input,)
+
+    return Tensor._make(out, (x,), backward, name="max_pool2d")
+
+
+def max_pool1d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over ``(batch, channels, length)`` inputs."""
+    stride = stride or kernel
+    out = max_pool2d(x.expand_dims(2), (1, kernel), (1, stride))
+    return out.squeeze(axis=2)
+
+
+def global_average_pool(x: Tensor) -> Tensor:
+    """Average all spatial positions, keeping batch and channel axes.
+
+    Works for both ``(batch, channels, length)`` and
+    ``(batch, channels, height, width)`` inputs and returns
+    ``(batch, channels)``.
+    """
+    axes = tuple(range(2, x.ndim))
+    return x.mean(axis=axes)
+
+
+# ---------------------------------------------------------------------------
+# Classification heads
+# ---------------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out

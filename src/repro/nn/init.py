@@ -1,0 +1,36 @@
+"""Weight-initialisation schemes for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def glorot_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He / Kaiming uniform initialisation (suited to ReLU activations)."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He / Kaiming normal initialisation."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation used for recurrent weight matrices."""
+    rows, cols = shape
+    matrix = rng.standard_normal((rows, cols))
+    if rows < cols:
+        q, _ = np.linalg.qr(matrix.T)
+        return np.ascontiguousarray(q.T[:rows, :cols])
+    q, _ = np.linalg.qr(matrix)
+    return np.ascontiguousarray(q[:rows, :cols])

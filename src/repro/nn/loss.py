@@ -1,0 +1,64 @@
+"""Loss functions.
+
+The paper trains every architecture with the categorical cross-entropy loss
+and the Adam optimizer (Section 2, "Learning Phase").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  class_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Categorical cross-entropy from unnormalised logits.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, num_classes)``.
+    targets:
+        Integer class labels of shape ``(batch,)``.
+    class_weights:
+        Optional per-class weights (useful for unbalanced datasets).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = logits.shape[0]
+    if targets.shape != (batch,):
+        raise ValueError(f"targets must have shape ({batch},), got {targets.shape}")
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(batch), targets]
+    if class_weights is not None:
+        weights = np.asarray(class_weights, dtype=np.float64)[targets]
+        weighted = picked * Tensor(weights)
+        return -(weighted.sum() / float(weights.sum()))
+    return -(picked.mean())
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error (used in auxiliary tests of the substrate)."""
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood from log-probabilities."""
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -(picked.mean())
+
+
+class CrossEntropyLoss:
+    """Callable object mirroring ``torch.nn.CrossEntropyLoss``."""
+
+    def __init__(self, class_weights: Optional[np.ndarray] = None) -> None:
+        self.class_weights = class_weights
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets, self.class_weights)

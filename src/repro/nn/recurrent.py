@@ -1,0 +1,137 @@
+"""Recurrent layers (RNN, LSTM, GRU) used as baselines in the paper.
+
+The paper's experimental setup (Section 5.2) uses a single recurrent hidden
+layer of 128 neurons followed by a dense layer.  These cells iterate over the
+time axis of a ``(batch, dimensions, length)`` multivariate series, consuming
+one time step (a ``(batch, dimensions)`` slice) at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+
+class RNNCell(Module):
+    """Vanilla (Elman) recurrent cell: ``h' = tanh(x W_ih.T + h W_hh.T + b)``."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.glorot_uniform((hidden_size, input_size), input_size, hidden_size, rng))
+        self.weight_hh = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.bias = Parameter(np.zeros(hidden_size))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        return (x.matmul(self.weight_ih.transpose())
+                + hidden.matmul(self.weight_hh.transpose())
+                + self.bias).tanh()
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell with input/forget/cell/output gates."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gate_size = 4 * hidden_size
+        self.weight_ih = Parameter(
+            init.glorot_uniform((gate_size, input_size), input_size, gate_size, rng))
+        self.weight_hh = Parameter(
+            init.glorot_uniform((gate_size, hidden_size), hidden_size, gate_size, rng))
+        # Initialise the forget-gate bias to 1 (standard practice to ease
+        # gradient flow early in training).
+        bias = np.zeros(gate_size)
+        bias[hidden_size: 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        hidden, cell = state
+        gates = (x.matmul(self.weight_ih.transpose())
+                 + hidden.matmul(self.weight_hh.transpose())
+                 + self.bias)
+        h = self.hidden_size
+        input_gate = gates[:, 0:h].sigmoid()
+        forget_gate = gates[:, h: 2 * h].sigmoid()
+        cell_candidate = gates[:, 2 * h: 3 * h].tanh()
+        output_gate = gates[:, 3 * h: 4 * h].sigmoid()
+        new_cell = forget_gate * cell + input_gate * cell_candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gate_size = 3 * hidden_size
+        self.weight_ih = Parameter(
+            init.glorot_uniform((gate_size, input_size), input_size, gate_size, rng))
+        self.weight_hh = Parameter(
+            init.glorot_uniform((gate_size, hidden_size), hidden_size, gate_size, rng))
+        self.bias_ih = Parameter(np.zeros(gate_size))
+        self.bias_hh = Parameter(np.zeros(gate_size))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        h = self.hidden_size
+        gates_x = x.matmul(self.weight_ih.transpose()) + self.bias_ih
+        gates_h = hidden.matmul(self.weight_hh.transpose()) + self.bias_hh
+        reset = (gates_x[:, 0:h] + gates_h[:, 0:h]).sigmoid()
+        update = (gates_x[:, h: 2 * h] + gates_h[:, h: 2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h: 3 * h] + reset * gates_h[:, 2 * h: 3 * h]).tanh()
+        ones = Tensor(np.ones_like(update.data))
+        return update * hidden + (ones - update) * candidate
+
+
+class RecurrentLayer(Module):
+    """Unroll a recurrent cell over the time axis of a multivariate series.
+
+    Input is ``(batch, dimensions, length)``; the output is the hidden state at
+    the last time step, of shape ``(batch, hidden_size)``.
+    """
+
+    def __init__(self, cell_type: str, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        cell_type = cell_type.lower()
+        if cell_type == "rnn":
+            self.cell: Module = RNNCell(input_size, hidden_size, rng)
+        elif cell_type == "lstm":
+            self.cell = LSTMCell(input_size, hidden_size, rng)
+        elif cell_type == "gru":
+            self.cell = GRUCell(input_size, hidden_size, rng)
+        else:
+            raise ValueError(f"unknown recurrent cell type {cell_type!r}")
+        self.cell_type = cell_type
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, _, length = x.shape
+        hidden = Tensor(np.zeros((batch, self.hidden_size)))
+        cell_state = Tensor(np.zeros((batch, self.hidden_size)))
+        for t in range(length):
+            step = x[:, :, t]
+            if self.cell_type == "lstm":
+                hidden, cell_state = self.cell(step, (hidden, cell_state))
+            else:
+                hidden = self.cell(step, hidden)
+        return hidden

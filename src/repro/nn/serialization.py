@@ -1,0 +1,29 @@
+"""Saving and loading model weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_state_dict(module: Module, path: str) -> None:
+    """Serialise all parameters and buffers of ``module`` to ``path``.
+
+    The file is a standard NumPy ``.npz`` archive whose keys are the
+    dotted parameter names returned by :meth:`Module.named_parameters`.
+    """
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,606 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  It provides a
+:class:`Tensor` type that records the operations applied to it and can
+back-propagate gradients through arbitrary compositions of the supported
+operations.  The design goal is a small, readable engine sufficient for the
+convolutional and recurrent architectures used by the dCAM paper, not a
+general-purpose deep-learning framework.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.nn.tensor import Tensor
+>>> x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad
+array([2., 4., 6.])
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, "Tensor"]
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    """Coerce a python scalar, sequence or array into a float ndarray."""
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value, dtype=dtype)
+    return arr
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over the axes that were broadcast to reach ``grad.shape``.
+
+    When an operation broadcasts an operand of shape ``shape`` up to the shape
+    of ``grad``, the gradient flowing back must be reduced over the broadcast
+    axes so that it matches the original operand shape again.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were 1 in the original shape but expanded.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like holding the tensor values.  Stored as ``float64`` by
+        default for numerically robust gradient checking.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    parents:
+        Tensors this tensor was computed from (autograd graph edges).
+    backward_fn:
+        Closure propagating the gradient of this tensor to its parents.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple[Tensor, ...] = tuple(parents)
+        self._backward_fn = backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying values as a plain ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but detached from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ``1`` which is only valid for scalar tensors.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only supported "
+                    "for scalar tensors; got shape %r" % (self.shape,)
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order of the graph reachable from this tensor.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        self._accumulate_grad(grad)
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            if parent_grads is None:
+                continue
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None:
+                    continue
+                parent._accumulate_grad(pgrad)
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pgrad
+                else:
+                    grads[id(parent)] = pgrad
+
+    # ------------------------------------------------------------------
+    # Helpers to build new graph nodes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
+        name: str = "",
+    ) -> "Tensor":
+        requires_grad = any(p.requires_grad for p in parents)
+        if not requires_grad:
+            return Tensor(data, requires_grad=False, name=name)
+        return Tensor(
+            data,
+            requires_grad=True,
+            parents=parents,
+            backward_fn=backward_fn,
+            name=name,
+        )
+
+    @staticmethod
+    def _coerce(other: ArrayLike) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                unbroadcast(grad, self.shape),
+                unbroadcast(grad, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward, name="add")
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return Tensor._make(-self.data, (self,), backward, name="neg")
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                unbroadcast(grad, self.shape),
+                unbroadcast(-grad, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward, name="sub")
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._coerce(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                unbroadcast(grad * other.data, self.shape),
+                unbroadcast(grad * self.data, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward, name="mul")
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                unbroadcast(grad / other.data, self.shape),
+                unbroadcast(-grad * self.data / (other.data ** 2), other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward, name="div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(out_data, (self,), backward, name="pow")
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication
+    # ------------------------------------------------------------------
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                grad_a = grad * b
+                grad_b = grad * a
+            elif a.ndim == 1:
+                grad_a = grad @ np.swapaxes(b, -1, -2)
+                grad_b = np.outer(a, grad) if b.ndim == 2 else a[:, None] * grad
+            elif b.ndim == 1:
+                grad_a = np.expand_dims(grad, -1) * b
+                grad_b = np.swapaxes(a, -1, -2) @ grad
+                grad_b = unbroadcast(grad_b, b.shape)
+            else:
+                grad_a = grad @ np.swapaxes(b, -1, -2)
+                grad_b = np.swapaxes(a, -1, -2) @ grad
+                grad_a = unbroadcast(grad_a, a.shape)
+                grad_b = unbroadcast(grad_b, b.shape)
+            return (grad_a, grad_b)
+
+        return Tensor._make(out_data, (self, other), backward, name="matmul")
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * out_data,)
+
+        return Tensor._make(out_data, (self,), backward, name="exp")
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad / self.data,)
+
+        return Tensor._make(out_data, (self,), backward, name="log")
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (self,), backward, name="sqrt")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(out_data, (self,), backward, name="relu")
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+        out_data = self.data * scale
+
+        def backward(grad: np.ndarray):
+            return (grad * scale,)
+
+        return Tensor._make(out_data, (self,), backward, name="leaky_relu")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - out_data ** 2),)
+
+        return Tensor._make(out_data, (self,), backward, name="tanh")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray):
+            return (grad * out_data * (1.0 - out_data),)
+
+        return Tensor._make(out_data, (self,), backward, name="sigmoid")
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * sign,)
+
+        return Tensor._make(out_data, (self,), backward, name="abs")
+
+    def clip(self, minimum: float, maximum: float) -> "Tensor":
+        out_data = np.clip(self.data, minimum, maximum)
+        mask = (self.data >= minimum) & (self.data <= maximum)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(out_data, (self,), backward, name="clip")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            grad = np.asarray(grad)
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.shape)
+            else:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                if not keepdims:
+                    for a in sorted(axes):
+                        grad = np.expand_dims(grad, a)
+                expanded = np.broadcast_to(grad, self.shape)
+            return (expanded.astype(self.data.dtype),)
+
+        return Tensor._make(out_data, (self,), backward, name="sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0) along ``axis``."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            grad = np.asarray(grad)
+            if axis is None:
+                mask = self.data == self.data.max()
+                expanded = np.broadcast_to(grad, self.shape) * mask
+                expanded = expanded / mask.sum()
+            else:
+                max_kept = self.data.max(axis=axis, keepdims=True)
+                mask = self.data == max_kept
+                g = grad
+                if not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for a in sorted(a % self.ndim for a in axes):
+                        g = np.expand_dims(g, a)
+                counts = mask.sum(axis=axis, keepdims=True)
+                expanded = np.broadcast_to(g, self.shape) * mask / counts
+            return (expanded.astype(self.data.dtype),)
+
+        return Tensor._make(out_data, (self,), backward, name="max")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original_shape),)
+
+        return Tensor._make(out_data, (self,), backward, name="reshape")
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(self.shape[0], -1) if self.ndim > 1 else self.reshape(-1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(out_data, (self,), backward, name="transpose")
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+
+        def backward(grad: np.ndarray):
+            return (np.squeeze(grad, axis=axis),)
+
+        return Tensor._make(out_data, (self,), backward, name="expand_dims")
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original_shape),)
+
+        return Tensor._make(out_data, (self,), backward, name="squeeze")
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(original_shape, dtype=self.data.dtype)
+            np.add.at(full, key, grad)
+            return (full,)
+
+        return Tensor._make(out_data, (self,), backward, name="getitem")
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad the tensor. ``pad_width`` follows :func:`numpy.pad` syntax."""
+        out_data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(before, before + dim)
+            for (before, _), dim in zip(pad_width, self.shape)
+        )
+
+        def backward(grad: np.ndarray):
+            return (grad[slices],)
+
+        return Tensor._make(out_data, (self,), backward, name="pad")
+
+    # ------------------------------------------------------------------
+    # Combination helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray):
+            grads = []
+            for i in range(len(tensors)):
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(offsets[i], offsets[i + 1])
+                grads.append(grad[tuple(index)])
+            return tuple(grads)
+
+        return Tensor._make(out_data, tuple(tensors), backward, name="concatenate")
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        expanded = [t.expand_dims(axis) for t in tensors]
+        return Tensor.concatenate(expanded, axis=axis)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (non-differentiable, return ndarrays)
+    # ------------------------------------------------------------------
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)

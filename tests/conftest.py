@@ -1,0 +1,92 @@
+"""Shared fixtures: tiny datasets and pre-trained tiny models.
+
+Session-scoped so that the expensive fixtures (trained models) are built once
+and reused by every test module that needs them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, make_type1_dataset, make_type2_dataset
+from repro.models import (
+    CCNNClassifier,
+    CNNClassifier,
+    DCNNClassifier,
+    MTEXCNNClassifier,
+    TrainingConfig,
+)
+
+from tests.helpers import numerical_gradient  # noqa: F401  (re-exported for tests)
+
+TINY_CONFIG = SyntheticConfig(
+    seed_name="starlight",
+    n_dimensions=4,
+    n_instances_per_class=10,
+    series_length=48,
+    seed_instance_length=24,
+    pattern_length=12,
+    random_state=0,
+)
+
+TINY_TRAINING = TrainingConfig(epochs=10, batch_size=8, learning_rate=3e-3,
+                               patience=10, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_type1_dataset():
+    return make_type1_dataset(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_type2_dataset():
+    return make_type2_dataset(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_type1_test_dataset():
+    config = SyntheticConfig(**{**TINY_CONFIG.__dict__, "random_state": 123,
+                                "n_instances_per_class": 6})
+    return make_type1_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def trained_dcnn(tiny_type1_dataset):
+    model = DCNNClassifier(tiny_type1_dataset.n_dimensions, tiny_type1_dataset.length,
+                           tiny_type1_dataset.n_classes, filters=(8, 16),
+                           rng=np.random.default_rng(0))
+    model.fit(tiny_type1_dataset.X, tiny_type1_dataset.y, config=TINY_TRAINING)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_cnn(tiny_type1_dataset):
+    model = CNNClassifier(tiny_type1_dataset.n_dimensions, tiny_type1_dataset.length,
+                          tiny_type1_dataset.n_classes, filters=(8, 16),
+                          rng=np.random.default_rng(0))
+    model.fit(tiny_type1_dataset.X, tiny_type1_dataset.y, config=TINY_TRAINING)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_ccnn(tiny_type1_dataset):
+    model = CCNNClassifier(tiny_type1_dataset.n_dimensions, tiny_type1_dataset.length,
+                           tiny_type1_dataset.n_classes, filters=(8, 16),
+                           rng=np.random.default_rng(0))
+    model.fit(tiny_type1_dataset.X, tiny_type1_dataset.y, config=TINY_TRAINING)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_mtex(tiny_type1_dataset):
+    model = MTEXCNNClassifier(tiny_type1_dataset.n_dimensions, tiny_type1_dataset.length,
+                              tiny_type1_dataset.n_classes, block1_filters=(4, 8),
+                              block2_filters=8, hidden_units=16,
+                              rng=np.random.default_rng(0))
+    model.fit(tiny_type1_dataset.X, tiny_type1_dataset.y,
+              config=TrainingConfig(epochs=4, batch_size=8, learning_rate=3e-3,
+                                    random_state=0))
+    return model
+
+

@@ -1,0 +1,26 @@
+"""Shared test helpers (kept outside conftest so they can be imported directly)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function of ``array``.
+
+    ``func`` must read the current contents of ``array`` on every call; the
+    helper perturbs ``array`` in place and restores it afterwards.
+    """
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = func()
+        array[index] = original - eps
+        lower = func()
+        array[index] = original
+        grad[index] = (upper - lower) / (2.0 * eps)
+        iterator.iternext()
+    return grad

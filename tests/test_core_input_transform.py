@@ -1,0 +1,111 @@
+"""Unit tests of the C(T) cube construction and the idx mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_cube,
+    build_cube_batch,
+    idx,
+    inverse_order,
+    random_permutations,
+    rotation_order,
+    row_for_slot,
+)
+
+
+class TestBuildCube:
+    def setup_method(self):
+        self.series = np.arange(12.0).reshape(3, 4)  # dims 0,1,2 easily identified
+
+    def test_shape(self):
+        assert build_cube(self.series).shape == (3, 3, 4)
+
+    def test_first_row_is_original_order(self):
+        cube = build_cube(self.series)
+        np.testing.assert_allclose(cube[0], self.series)
+
+    def test_rows_are_rotations(self):
+        cube = build_cube(self.series)
+        np.testing.assert_allclose(cube[1], self.series[[1, 2, 0]])
+        np.testing.assert_allclose(cube[2], self.series[[2, 0, 1]])
+
+    def test_dimension_never_at_same_position_twice(self):
+        cube = build_cube(self.series)
+        for dimension in range(3):
+            positions = []
+            for row in range(3):
+                for position in range(3):
+                    if np.allclose(cube[row, position], self.series[dimension]):
+                        positions.append(position)
+            assert sorted(positions) == [0, 1, 2]
+
+    def test_with_permutation_order(self):
+        order = np.array([2, 0, 1])
+        cube = build_cube(self.series, order)
+        np.testing.assert_allclose(cube[0], self.series[order])
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            build_cube(np.zeros((2, 3, 4)))
+        with pytest.raises(ValueError):
+            build_cube(self.series, order=[0, 0, 1])
+
+    def test_batch_matches_single(self):
+        batch = np.stack([self.series, self.series * 2])
+        cube_batch = build_cube_batch(batch)
+        assert cube_batch.shape == (2, 3, 3, 4)
+        np.testing.assert_allclose(cube_batch[0], build_cube(self.series))
+        np.testing.assert_allclose(cube_batch[1], build_cube(self.series * 2))
+
+    def test_batch_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            build_cube_batch(self.series)
+
+
+class TestIdxMapping:
+    def test_row_for_slot_formula(self):
+        assert row_for_slot(0, 0, 4) == 0
+        assert row_for_slot(2, 1, 4) == 1
+        assert row_for_slot(0, 3, 4) == 1
+
+    def test_idx_identity_order(self):
+        series = np.arange(8.0).reshape(4, 2)
+        cube = build_cube(series)
+        for dimension in range(4):
+            for position in range(4):
+                row = idx(dimension, position, None, 4)
+                np.testing.assert_allclose(cube[row, position], series[dimension])
+
+    def test_idx_with_permutation(self):
+        series = np.arange(10.0).reshape(5, 2)
+        order = np.array([3, 1, 4, 0, 2])
+        cube = build_cube(series, order)
+        for dimension in range(5):
+            for position in range(5):
+                row = idx(dimension, position, order, 5)
+                np.testing.assert_allclose(cube[row, position], series[dimension])
+
+    def test_inverse_order(self):
+        order = np.array([2, 0, 1])
+        np.testing.assert_array_equal(inverse_order(order), [1, 2, 0])
+
+
+class TestRandomPermutations:
+    def test_count_and_identity_first(self):
+        permutations = random_permutations(5, 4, np.random.default_rng(0))
+        assert len(permutations) == 4
+        np.testing.assert_array_equal(permutations[0], np.arange(5))
+
+    def test_identity_can_be_excluded(self):
+        permutations = random_permutations(6, 3, np.random.default_rng(1),
+                                           include_identity=False)
+        assert len(permutations) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            random_permutations(4, 0)
+
+    def test_rotation_order(self):
+        np.testing.assert_array_equal(rotation_order(4, 1), [1, 2, 3, 0])
+        np.testing.assert_array_equal(rotation_order(4, 0), [0, 1, 2, 3])

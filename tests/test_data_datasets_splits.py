@@ -1,0 +1,99 @@
+"""Unit tests of the dataset container and the split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import MultivariateDataset, train_validation_split, train_validation_test_split
+
+
+def _toy_dataset(n_per_class=10, n_classes=3, dims=2, length=16, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n_per_class * n_classes, dims, length))
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    return MultivariateDataset(X=X, y=y, name="toy")
+
+
+class TestContainer:
+    def test_basic_properties(self):
+        dataset = _toy_dataset()
+        assert dataset.n_instances == 30
+        assert dataset.n_dimensions == 2
+        assert dataset.length == 16
+        assert dataset.n_classes == 3
+        assert len(dataset) == 30
+        assert "toy" in dataset.summary()
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            MultivariateDataset(X=np.zeros((4, 8)), y=np.zeros(4))
+        with pytest.raises(ValueError):
+            MultivariateDataset(X=np.zeros((4, 2, 8)), y=np.zeros(3))
+        with pytest.raises(ValueError):
+            MultivariateDataset(X=np.zeros((4, 2, 8)), y=np.zeros(4),
+                                ground_truth=np.zeros((4, 2, 7)))
+
+    def test_subset_preserves_alignment(self):
+        dataset = _toy_dataset()
+        subset = dataset.subset([0, 5, 20])
+        assert subset.n_instances == 3
+        np.testing.assert_allclose(subset.X[1], dataset.X[5])
+        assert subset.y[2] == dataset.y[20]
+
+    def test_subset_carries_ground_truth(self):
+        dataset = _toy_dataset()
+        dataset.ground_truth = np.zeros_like(dataset.X)
+        dataset.ground_truth[3, 0, :4] = 1
+        subset = dataset.subset([3])
+        assert subset.ground_truth.sum() == 4
+
+    def test_znormalize(self):
+        dataset = _toy_dataset()
+        dataset.X = dataset.X * 10 + 5
+        normalized = dataset.znormalize()
+        np.testing.assert_allclose(normalized.X.mean(axis=2), 0.0, atol=1e-10)
+        np.testing.assert_allclose(normalized.X.std(axis=2), 1.0, atol=1e-3)
+        # original untouched
+        assert abs(dataset.X.mean()) > 1.0
+
+    def test_class_counts(self):
+        dataset = _toy_dataset(n_per_class=4, n_classes=2)
+        assert dataset.class_counts() == {0: 4, 1: 4}
+
+
+class TestSplits:
+    def test_train_validation_split_is_stratified(self):
+        dataset = _toy_dataset(n_per_class=10, n_classes=3)
+        train, validation = train_validation_split(dataset, 0.8, random_state=0)
+        assert train.n_instances + validation.n_instances == 30
+        assert train.class_counts() == {0: 8, 1: 8, 2: 8}
+        assert validation.class_counts() == {0: 2, 1: 2, 2: 2}
+
+    def test_split_partitions_do_not_overlap(self):
+        dataset = _toy_dataset()
+        train, validation = train_validation_split(dataset, 0.7, random_state=1)
+        train_rows = {tuple(row.ravel()[:4]) for row in train.X}
+        val_rows = {tuple(row.ravel()[:4]) for row in validation.X}
+        assert not train_rows & val_rows
+
+    def test_split_reproducible(self):
+        dataset = _toy_dataset()
+        a_train, _ = train_validation_split(dataset, 0.8, random_state=7)
+        b_train, _ = train_validation_split(dataset, 0.8, random_state=7)
+        np.testing.assert_allclose(a_train.X, b_train.X)
+
+    def test_invalid_fraction_rejected(self):
+        dataset = _toy_dataset()
+        with pytest.raises(ValueError):
+            train_validation_split(dataset, 1.5)
+
+    def test_three_way_split(self):
+        dataset = _toy_dataset(n_per_class=10, n_classes=2)
+        train, validation, test = train_validation_test_split(dataset, 0.6, 0.2,
+                                                              random_state=0)
+        assert train.n_instances + validation.n_instances + test.n_instances == 20
+        assert train.n_instances == 12
+
+    def test_three_way_split_fraction_validation(self):
+        dataset = _toy_dataset()
+        with pytest.raises(ValueError):
+            train_validation_test_split(dataset, 0.8, 0.3)

@@ -1,0 +1,56 @@
+"""Unit tests of the seed series generators (repro.data.seeds)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SEED_NAMES, seed_background, seed_instance
+
+
+class TestSeedInstance:
+    @pytest.mark.parametrize("seed_name", SEED_NAMES)
+    @pytest.mark.parametrize("class_id", [0, 1])
+    def test_length_and_finiteness(self, seed_name, class_id):
+        series = seed_instance(seed_name, class_id, 64, np.random.default_rng(0))
+        assert series.shape == (64,)
+        assert np.isfinite(series).all()
+
+    @pytest.mark.parametrize("seed_name", SEED_NAMES)
+    def test_classes_are_distinguishable(self, seed_name):
+        """The two classes should differ much more than two draws of one class."""
+        rng = np.random.default_rng(1)
+        class0 = np.stack([seed_instance(seed_name, 0, 128, rng) for _ in range(20)])
+        class1 = np.stack([seed_instance(seed_name, 1, 128, rng) for _ in range(20)])
+        within = np.abs(class0.mean(axis=0) - class0[10:].mean(axis=0)).mean()
+        between = np.abs(class0.mean(axis=0) - class1.mean(axis=0)).mean()
+        assert between > within
+
+    @pytest.mark.parametrize("seed_name", SEED_NAMES)
+    def test_invalid_class_raises(self, seed_name):
+        with pytest.raises(ValueError):
+            seed_instance(seed_name, 2, 32, np.random.default_rng(0))
+
+    def test_unknown_seed_name_raises(self):
+        with pytest.raises(KeyError):
+            seed_instance("does-not-exist", 0, 32)
+
+    def test_randomness_controlled_by_rng(self):
+        a = seed_instance("starlight", 0, 64, np.random.default_rng(5))
+        b = seed_instance("starlight", 0, 64, np.random.default_rng(5))
+        c = seed_instance("starlight", 0, 64, np.random.default_rng(6))
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+
+class TestSeedBackground:
+    def test_total_length(self):
+        background = seed_background("shapes", 0, 100, 32, np.random.default_rng(0))
+        assert background.shape == (100,)
+
+    def test_exact_multiple_length(self):
+        background = seed_background("fish", 1, 96, 32, np.random.default_rng(0))
+        assert background.shape == (96,)
+
+    def test_concatenation_of_distinct_instances(self):
+        background = seed_background("starlight", 0, 128, 32, np.random.default_rng(2))
+        # Consecutive chunks come from different random instances.
+        assert not np.allclose(background[:32], background[32:64])

@@ -1,0 +1,94 @@
+"""Unit tests of the Type 1 / Type 2 synthetic benchmarks (repro.data.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, make_dataset, make_type1_dataset, make_type2_dataset
+
+
+CONFIG = SyntheticConfig(seed_name="starlight", n_dimensions=6, n_instances_per_class=8,
+                         series_length=80, seed_instance_length=20, pattern_length=16,
+                         random_state=3)
+
+
+class TestType1:
+    def setup_method(self):
+        self.dataset = make_type1_dataset(CONFIG)
+
+    def test_shapes_and_labels(self):
+        assert self.dataset.X.shape == (16, 6, 80)
+        assert set(np.unique(self.dataset.y)) == {0, 1}
+        assert self.dataset.class_counts() == {0: 8, 1: 8}
+
+    def test_class0_has_no_ground_truth(self):
+        class0 = self.dataset.ground_truth[self.dataset.y == 0]
+        assert class0.sum() == 0
+
+    def test_class1_has_two_injected_dimensions(self):
+        for mask in self.dataset.ground_truth[self.dataset.y == 1]:
+            injected_dims = np.flatnonzero(mask.sum(axis=1) > 0)
+            assert len(injected_dims) == 2
+
+    def test_injection_length_matches_pattern_length(self):
+        for mask in self.dataset.ground_truth[self.dataset.y == 1]:
+            for dim in np.flatnonzero(mask.sum(axis=1) > 0):
+                assert mask[dim].sum() == CONFIG.pattern_length
+
+    def test_injections_at_different_positions(self):
+        """Type 1: the two injected patterns never share the same start index."""
+        for mask in self.dataset.ground_truth[self.dataset.y == 1]:
+            starts = [np.flatnonzero(mask[dim])[0]
+                      for dim in np.flatnonzero(mask.sum(axis=1) > 0)]
+            assert starts[0] != starts[1]
+
+    def test_reproducible_with_same_seed(self):
+        again = make_type1_dataset(CONFIG)
+        np.testing.assert_allclose(self.dataset.X, again.X)
+
+    def test_different_seed_changes_data(self):
+        other = make_type1_dataset(SyntheticConfig(**{**CONFIG.__dict__, "random_state": 99}))
+        assert not np.allclose(self.dataset.X, other.X)
+
+
+class TestType2:
+    def setup_method(self):
+        self.dataset = make_type2_dataset(CONFIG)
+
+    def test_shapes(self):
+        assert self.dataset.X.shape == (16, 6, 80)
+        assert self.dataset.ground_truth.shape == self.dataset.X.shape
+
+    def test_class1_ground_truth_marks_two_aligned_dimensions(self):
+        for mask in self.dataset.ground_truth[self.dataset.y == 1]:
+            injected_dims = np.flatnonzero(mask.sum(axis=1) > 0)
+            assert len(injected_dims) == 2
+            starts = [np.flatnonzero(mask[dim])[0] for dim in injected_dims]
+            assert starts[0] == starts[1]  # same timestamp: the discriminant factor
+
+    def test_class0_mask_is_empty_even_though_patterns_are_injected(self):
+        class0 = self.dataset.ground_truth[self.dataset.y == 0]
+        assert class0.sum() == 0
+
+    def test_dispatch_helper(self):
+        assert make_dataset(1, CONFIG).metadata["type"] == 1
+        assert make_dataset(2, CONFIG).metadata["type"] == 2
+        with pytest.raises(ValueError):
+            make_dataset(3, CONFIG)
+
+
+class TestConfigValidation:
+    def test_pattern_longer_than_series_rejected(self):
+        config = SyntheticConfig(n_dimensions=3, series_length=16, pattern_length=32,
+                                 random_state=0)
+        with pytest.raises(ValueError):
+            make_type1_dataset(config)
+
+    def test_names_encode_seed_type_and_dimensions(self):
+        assert make_type1_dataset(CONFIG).name == "starlight-type1-D6"
+        assert make_type2_dataset(CONFIG).name == "starlight-type2-D6"
+
+    def test_small_dimension_count_still_works(self):
+        config = SyntheticConfig(n_dimensions=2, n_instances_per_class=3,
+                                 series_length=48, pattern_length=8, random_state=0)
+        dataset = make_type2_dataset(config)
+        assert dataset.n_dimensions == 2

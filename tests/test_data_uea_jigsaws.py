@@ -1,0 +1,128 @@
+"""Unit tests of the UEA archive and JIGSAWS simulators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DISCRIMINANT_GESTURES,
+    GESTURES,
+    JIGSAWS_CLASS_NAMES,
+    JigsawsConfig,
+    UEA_DATASET_NAMES,
+    UEA_METADATA,
+    UEASimulationConfig,
+    discriminant_sensor_indices,
+    make_jigsaws_dataset,
+    make_uea_archive,
+    make_uea_dataset,
+    scaled_metadata,
+    sensor_names,
+)
+
+
+class TestUEAMetadata:
+    def test_all_23_datasets_present(self):
+        assert len(UEA_DATASET_NAMES) == 23
+        assert "RacketSports" in UEA_METADATA
+        assert UEA_METADATA["RacketSports"] == (4, 30, 6)
+        assert UEA_METADATA["FaceDetection"] == (2, 62, 144)
+
+    def test_scaled_metadata_applies_caps(self):
+        config = UEASimulationConfig(max_length=50, max_dimensions=8, max_classes=4)
+        n_classes, length, dims = scaled_metadata("MotorImagery", config)
+        assert (n_classes, length, dims) == (2, 50, 8)
+
+    def test_scaled_metadata_no_caps_returns_paper_values(self):
+        config = UEASimulationConfig(max_length=None, max_dimensions=None, max_classes=None)
+        assert scaled_metadata("NATOPS", config) == UEA_METADATA["NATOPS"]
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            scaled_metadata("NotADataset", UEASimulationConfig())
+
+
+class TestUEASimulation:
+    def setup_method(self):
+        self.config = UEASimulationConfig(instances_per_class=5, max_length=40,
+                                          max_dimensions=5, max_classes=3, random_state=0)
+
+    def test_dataset_shape_follows_scaled_metadata(self):
+        dataset = make_uea_dataset("BasicMotions", self.config)
+        n_classes, length, dims = scaled_metadata("BasicMotions", self.config)
+        assert dataset.X.shape == (n_classes * 5, dims, length)
+        assert dataset.n_classes == n_classes
+
+    def test_every_class_represented(self):
+        dataset = make_uea_dataset("Epilepsy", self.config)
+        counts = dataset.class_counts()
+        assert all(count == 5 for count in counts.values())
+
+    def test_deterministic_for_fixed_random_state(self):
+        a = make_uea_dataset("Libras", self.config)
+        b = make_uea_dataset("Libras", self.config)
+        np.testing.assert_allclose(a.X, b.X)
+
+    def test_classes_are_separable_by_a_simple_statistic(self):
+        """Class means should differ: a nearest-centroid rule beats chance."""
+        dataset = make_uea_dataset("BasicMotions", self.config)
+        centroids = {label: dataset.X[dataset.y == label].mean(axis=0)
+                     for label in np.unique(dataset.y)}
+        correct = 0
+        for series, label in zip(dataset.X, dataset.y):
+            distances = {c: np.linalg.norm(series - centroid)
+                         for c, centroid in centroids.items()}
+            correct += int(min(distances, key=distances.get) == label)
+        assert correct / len(dataset) > 1.0 / dataset.n_classes
+
+    def test_archive_builder_subsets(self):
+        archive = make_uea_archive(["PenDigits", "LSST"], self.config)
+        assert set(archive) == {"PenDigits", "LSST"}
+
+    def test_metadata_records_simulation(self):
+        dataset = make_uea_dataset("Heartbeat", self.config)
+        assert dataset.metadata["simulated"] is True
+        assert dataset.metadata["paper_metadata"] == UEA_METADATA["Heartbeat"]
+
+
+class TestJigsaws:
+    def setup_method(self):
+        self.config = JigsawsConfig(n_novice=4, n_intermediate=3, n_expert=3,
+                                    gesture_length=6, random_state=1)
+        self.dataset = make_jigsaws_dataset(self.config)
+
+    def test_sensor_structure(self):
+        names = sensor_names()
+        assert len(names) == 76
+        assert sum(name.endswith("gripper_angle") for name in names) == 4
+        assert self.dataset.n_dimensions == 76
+
+    def test_class_counts_and_names(self):
+        assert self.dataset.class_counts() == {0: 4, 1: 3, 2: 3}
+        assert self.dataset.class_names == JIGSAWS_CLASS_NAMES
+
+    def test_length_covers_all_gestures(self):
+        assert self.dataset.length == len(GESTURES) * self.config.gesture_length
+
+    def test_ground_truth_only_on_novice_instances(self):
+        novice_mask = self.dataset.ground_truth[self.dataset.y == 0]
+        other_mask = self.dataset.ground_truth[self.dataset.y != 0]
+        assert novice_mask.sum() > 0
+        assert other_mask.sum() == 0
+
+    def test_ground_truth_restricted_to_discriminant_gestures_and_sensors(self):
+        planted_sensors = set(discriminant_sensor_indices())
+        segments = self.dataset.metadata["gesture_segments"][0]
+        discriminant_windows = [
+            (start, end) for gesture, start, end in segments
+            if gesture in DISCRIMINANT_GESTURES
+        ]
+        mask = self.dataset.ground_truth[0]
+        active_sensors = set(np.flatnonzero(mask.sum(axis=1) > 0).tolist())
+        assert active_sensors == planted_sensors
+        active_times = np.flatnonzero(mask.sum(axis=0) > 0)
+        for time_index in active_times:
+            assert any(start <= time_index < end for start, end in discriminant_windows)
+
+    def test_metadata_lists_gestures(self):
+        assert self.dataset.metadata["gestures"] == list(GESTURES)
+        assert set(self.dataset.metadata["discriminant_gestures"]) == set(DISCRIMINANT_GESTURES)

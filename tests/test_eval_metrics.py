@@ -1,0 +1,189 @@
+"""Unit tests of the evaluation metrics (repro.eval)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    classification_accuracy,
+    dr_acc,
+    dr_acc_batch,
+    harmonic_mean,
+    pr_auc,
+    precision_recall_curve,
+    random_baseline_dr_acc,
+    roc_auc,
+)
+from repro.eval.ranking import average_ranks, mean_scores, rank_scores
+
+
+class TestAccuracy:
+    def test_perfect_and_partial(self):
+        assert classification_accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+        assert classification_accuracy([0, 1, 2, 3], [0, 1, 0, 0]) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            classification_accuracy([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classification_accuracy([], [])
+
+
+class TestPRCurveAndAUC:
+    def test_perfect_ranking_gives_auc_one(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+        assert pr_auc(labels, scores) == 1.0
+
+    def test_worst_ranking_gives_low_auc(self):
+        labels = np.array([1, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+        scores = -np.arange(10.0)  # the positive has the highest... reversed
+        scores = np.arange(10.0)   # positive gets the lowest score
+        assert pr_auc(labels, scores) <= 0.2
+
+    def test_random_scores_approximate_positive_rate(self):
+        rng = np.random.default_rng(0)
+        labels = np.zeros(2000)
+        labels[:100] = 1
+        scores = rng.random(2000)
+        value = pr_auc(labels, scores)
+        assert 0.02 < value < 0.12  # positive rate is 0.05
+
+    def test_known_small_example(self):
+        # Ranking: [1, 0, 1, 0]; AP = (1/1)*0.5 + (2/3)*0.5 = 0.8333...
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        assert abs(pr_auc(labels, scores) - (0.5 + 0.5 * 2 / 3)) < 1e-10
+
+    def test_curve_monotone_recall(self):
+        labels = np.array([0, 1, 1, 0, 1])
+        scores = np.array([0.2, 0.9, 0.4, 0.5, 0.7])
+        precision, recall, thresholds = precision_recall_curve(labels, scores)
+        assert (np.diff(recall) >= 0).all()
+        assert recall[-1] == 1.0
+        assert len(precision) == len(recall) == len(thresholds)
+
+    def test_requires_positive_labels(self):
+        with pytest.raises(ValueError):
+            pr_auc(np.zeros(5), np.arange(5.0))
+
+    def test_requires_binary_labels(self):
+        with pytest.raises(ValueError):
+            pr_auc(np.array([0, 1, 2]), np.arange(3.0))
+
+    def test_ties_handled(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.1])
+        value = pr_auc(labels, scores)
+        assert 0.0 < value <= 1.0
+
+
+class TestROCAUC:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reverse_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=5000)
+        labels[0], labels[1] = 0, 1
+        scores = rng.random(5000)
+        assert abs(roc_auc(labels, scores) - 0.5) < 0.05
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(4), np.arange(4.0))
+
+
+class TestHarmonicMean:
+    def test_equal_values(self):
+        assert harmonic_mean(0.8, 0.8) == pytest.approx(0.8)
+
+    def test_zero_dominates(self):
+        assert harmonic_mean(0.0, 1.0) == 0.0
+
+    def test_less_than_arithmetic_mean(self):
+        assert harmonic_mean(0.2, 0.8) < 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean(-0.1, 0.5)
+
+
+class TestDrAcc:
+    def test_perfect_explanation(self):
+        ground_truth = np.zeros((3, 10))
+        ground_truth[1, 2:5] = 1
+        explanation = ground_truth * 10.0
+        assert dr_acc(explanation, ground_truth) == 1.0
+
+    def test_uninformative_explanation_is_low(self):
+        ground_truth = np.zeros((5, 40))
+        ground_truth[0, :2] = 1
+        rng = np.random.default_rng(0)
+        scores = [dr_acc(rng.random((5, 40)), ground_truth) for _ in range(20)]
+        assert np.mean(scores) < 0.2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dr_acc(np.zeros((2, 5)), np.zeros((3, 5)))
+
+    def test_empty_ground_truth_rejected(self):
+        with pytest.raises(ValueError):
+            dr_acc(np.ones((2, 5)), np.zeros((2, 5)))
+
+    def test_batch_average(self):
+        ground_truth = np.zeros((2, 8))
+        ground_truth[0, :2] = 1
+        perfect = ground_truth * 5
+        batch = dr_acc_batch([perfect, perfect], [ground_truth, ground_truth])
+        assert batch == 1.0
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            dr_acc_batch([np.ones((2, 4))], [])
+        with pytest.raises(ValueError):
+            dr_acc_batch([], [])
+
+    def test_random_baseline_close_to_positive_rate(self):
+        ground_truth = np.zeros((4, 50))
+        ground_truth[0, :10] = 1  # positive rate 0.05
+        baseline = random_baseline_dr_acc(ground_truth, np.random.default_rng(0), repeats=20)
+        assert 0.02 < baseline < 0.12
+
+
+class TestRanking:
+    def test_rank_scores_higher_is_better(self):
+        ranks = rank_scores({"a": 0.9, "b": 0.5, "c": 0.7})
+        assert ranks["a"] == 1.0 and ranks["b"] == 3.0 and ranks["c"] == 2.0
+
+    def test_rank_scores_lower_is_better(self):
+        ranks = rank_scores({"a": 10.0, "b": 5.0}, higher_is_better=False)
+        assert ranks["b"] == 1.0 and ranks["a"] == 2.0
+
+    def test_ties_share_average_rank(self):
+        ranks = rank_scores({"a": 0.5, "b": 0.5, "c": 0.1})
+        assert ranks["a"] == ranks["b"] == 1.5
+        assert ranks["c"] == 3.0
+
+    def test_average_ranks_and_means(self):
+        per_dataset = [{"a": 0.9, "b": 0.1}, {"a": 0.2, "b": 0.8}]
+        averaged = average_ranks(per_dataset)
+        assert averaged["a"] == averaged["b"] == 1.5
+        means = mean_scores(per_dataset)
+        assert means["a"] == pytest.approx(0.55)
+
+    def test_average_ranks_requires_consistent_methods(self):
+        with pytest.raises(ValueError):
+            average_ranks([{"a": 1.0}, {"b": 1.0}])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            rank_scores({})
+        with pytest.raises(ValueError):
+            average_ranks([])
+        with pytest.raises(ValueError):
+            mean_scores([])

@@ -1,0 +1,212 @@
+"""Tests of the experiment drivers (configs, reporting, micro-scale runs).
+
+The drivers are exercised at a micro scale (1-2 epochs, 2-4 dimensions) so
+this module stays fast; the benchmark harness under ``benchmarks/`` runs the
+same drivers at a larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXTRACTION_VARIANTS,
+    ExperimentScale,
+    extract_variant,
+    format_series,
+    format_table,
+    get_scale,
+    paper_scale,
+    run_extraction_ablation,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_ng_filter_ablation,
+    run_table2,
+    run_table3,
+    small_scale,
+    tiny_scale,
+)
+from repro.models import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """Even smaller than the tiny preset: 2 epochs, minimal widths."""
+    scale = tiny_scale(random_state=0)
+    return scale.with_overrides(
+        name="micro",
+        k_permutations=4,
+        n_explained_instances=2,
+        dimension_sweep=(3,),
+        training=TrainingConfig(epochs=2, batch_size=8, learning_rate=3e-3,
+                                patience=5, random_state=0),
+    )
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert get_scale("tiny").name == "tiny"
+        assert get_scale("small").name == "small"
+        assert get_scale("paper").name == "paper"
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_paper_scale_matches_section_5(self):
+        scale = paper_scale()
+        assert scale.k_permutations == 100
+        assert scale.n_runs == 10
+        assert scale.training.batch_size == 16
+        assert scale.cnn_kwargs["filters"] == (64, 128, 256, 256, 256)
+        assert scale.dimension_sweep == (10, 20, 40, 60, 100)
+
+    def test_model_kwargs_dispatch(self):
+        scale = small_scale()
+        assert scale.model_kwargs("dcnn") == scale.cnn_kwargs
+        assert scale.model_kwargs("cResNet") == scale.resnet_kwargs
+        assert scale.model_kwargs("dInceptionTime") == scale.inception_kwargs
+        assert scale.model_kwargs("lstm") == scale.recurrent_kwargs
+        assert scale.model_kwargs("mtex") == scale.mtex_kwargs
+
+    def test_with_overrides_returns_copy(self):
+        scale = tiny_scale()
+        other = scale.with_overrides(k_permutations=99)
+        assert other.k_permutations == 99
+        assert scale.k_permutations != 99
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        rows = [{"name": "a", "value": 0.123456}, {"name": "bbb", "value": 1.0}]
+        text = format_table(rows, title="My table")
+        assert "My table" in text
+        assert "0.123" in text
+        assert text.count("\n") >= 3
+
+    def test_format_table_empty(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_format_series(self):
+        text = format_series({"m1": [0.1, 0.2], "m2": [0.3, 0.4]}, "D", [10, 20])
+        assert "m1" in text and "m2" in text and "10" in text
+
+
+class TestTableDrivers:
+    def test_table2_structure(self, micro_scale):
+        result = run_table2(micro_scale, dataset_names=["PenDigits"],
+                            models=["gru", "cnn", "dcnn"])
+        assert "PenDigits" in result.accuracies
+        scores = result.accuracies["PenDigits"]
+        assert set(scores) == {"gru", "cnn", "dcnn"}
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+        assert set(result.mean_row) == {"gru", "cnn", "dcnn"}
+        assert set(result.rank_row) == {"gru", "cnn", "dcnn"}
+        assert "Table 2" in result.format()
+
+    def test_table3_structure(self, micro_scale):
+        result = run_table3(micro_scale, seeds=["starlight"], dataset_types=(1,),
+                            dimensions=[3], models=["resnet", "dcnn"])
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert set(row.c_acc) == {"resnet", "dcnn"}
+        assert set(row.dr_acc) == {"resnet", "dcnn"}
+        assert 0.0 <= row.random_dr_acc <= 1.0
+        assert "dcnn" in row.success_ratio
+        assert "Table 3" in result.format()
+        assert set(result.c_acc_ranks()) == {"resnet", "dcnn"}
+
+
+class TestFigureDrivers:
+    def test_figure8(self, micro_scale):
+        result = run_figure8(micro_scale, dataset_names=["PenDigits"],
+                             pairs={"dcnn": ["cnn"]})
+        assert ("dcnn", "cnn") in result.points
+        assert len(result.points[("dcnn", "cnn")]) == 1
+        assert result.wins("dcnn", "cnn") in (0, 1)
+        assert "Figure 8" in result.format()
+
+    def test_figure9(self, micro_scale):
+        result = run_figure9(micro_scale, dimensions=[3], models=["dcnn"])
+        series = result.series("c_acc", 1)
+        assert series["dcnn"][0] >= 0.0
+        harmonic = result.harmonic_series("dr_acc")
+        assert len(harmonic["dcnn"]) == 1
+        assert "Figure 9" in result.format()
+
+    def test_figure10(self, micro_scale):
+        result = run_figure10(micro_scale, dimensions=[3], models=["dcnn"],
+                              dataset_types=(1,), k_values=[1, 3])
+        assert result.k_values == [1, 3]
+        key = ("dcnn", 1, 3)
+        assert key in result.curves
+        assert len(result.curves[key]) == 2
+        needed = result.permutations_to_reach(0.9)
+        assert needed[key] in (1, 3)
+        assert "Figure 10" in result.format()
+
+    def test_figure11(self, micro_scale):
+        result = run_figure11(micro_scale, models=["dcnn"], seeds=["starlight"],
+                              dataset_types=(1,), dimensions=[3])
+        assert len(result.points) == 1
+        point = result.points[0]
+        assert 0.0 <= point.c_acc <= 1.0
+        assert 0.0 <= point.dr_acc <= 1.0
+        assert 0.0 <= point.success_ratio <= 1.0
+        assert "Figure 11" in result.format()
+
+    def test_figure12(self, micro_scale):
+        result = run_figure12(micro_scale, models=["cnn", "dcnn"], lengths=[16, 24],
+                              dimensions=[3, 4], k_values=[1, 2],
+                              include_convergence=True)
+        assert len(result.epoch_time_vs_length["cnn"]) == 2
+        assert len(result.epoch_time_vs_dimensions["dcnn"]) == 2
+        assert len(result.dcam_time_vs_k["dcnn"]) == 2
+        assert all(value > 0 for value in result.dcam_time_vs_k["dcnn"])
+        assert len(result.convergence) == 2
+        assert "Figure 12" in result.format()
+
+    def test_figure12_dcam_time_grows_with_k(self, micro_scale):
+        result = run_figure12(micro_scale, models=[], lengths=[16], dimensions=[4],
+                              k_values=[1, 8], include_convergence=False)
+        times = result.dcam_time_vs_k["dcnn"]
+        assert times[1] > times[0]
+
+    def test_figure13(self, micro_scale):
+        from repro.data import JigsawsConfig
+        result = run_figure13(micro_scale,
+                              jigsaws_config=JigsawsConfig(n_novice=3, n_intermediate=2,
+                                                           n_expert=2, gesture_length=4,
+                                                           random_state=0),
+                              top_k_sensors=4, top_k_gestures=2)
+        assert 0.0 <= result.test_accuracy <= 1.0
+        assert result.max_activation.shape[1] == 76
+        assert len(result.top_sensors) == 4
+        assert len(result.top_gestures) == 2
+        assert set(result.per_gesture_activation) == set(f"G{i}" for i in range(1, 12))
+        assert 0.0 <= result.sensor_recovery_rate() <= 1.0
+        assert "Figure 13" in result.format()
+
+
+class TestAblations:
+    def test_extraction_variants(self):
+        m_bar = np.random.default_rng(0).standard_normal((3, 3, 5))
+        for variant in EXTRACTION_VARIANTS:
+            heatmap = extract_variant(m_bar, variant)
+            assert heatmap.shape == (3, 5)
+        with pytest.raises(ValueError):
+            extract_variant(m_bar, "nope")
+
+    def test_extraction_ablation_driver(self, micro_scale):
+        result = run_extraction_ablation(micro_scale, dataset_types=(1,))
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert all(variant in row for variant in EXTRACTION_VARIANTS)
+        assert "ablation" in result.format("extraction ablation").lower()
+
+    def test_ng_filter_ablation_driver(self, micro_scale):
+        result = run_ng_filter_ablation(micro_scale, dataset_types=(1,))
+        row = result.rows[0]
+        assert "all_permutations" in row and "only_correct" in row
+        assert 0.0 <= row["ng/k"] <= 1.0

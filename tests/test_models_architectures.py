@@ -1,0 +1,168 @@
+"""Unit tests of every classifier architecture (repro.models)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BaseClassifier,
+    CCNNClassifier,
+    CInceptionTimeClassifier,
+    CNNClassifier,
+    CResNetClassifier,
+    DCNNClassifier,
+    DInceptionTimeClassifier,
+    DResNetClassifier,
+    GRUClassifier,
+    InceptionTimeClassifier,
+    LSTMClassifier,
+    MTEXCNNClassifier,
+    PAPER_CNN_FILTERS,
+    ResNetClassifier,
+    RNNClassifier,
+    TrainingConfig,
+    available_models,
+    create_model,
+)
+from repro.models.registry import BASELINE_MODELS, C_BASELINE_MODELS, D_MODELS
+from repro.nn import Tensor
+
+N_DIMS, LENGTH, N_CLASSES = 4, 24, 3
+RNG = np.random.default_rng(0)
+BATCH = RNG.standard_normal((5, N_DIMS, LENGTH))
+
+SMALL_KWARGS = {
+    "cnn": {"filters": (4, 8)},
+    "ccnn": {"filters": (4, 8)},
+    "dcnn": {"filters": (4, 8)},
+    "resnet": {"filters": (4, 8)},
+    "cresnet": {"filters": (4, 8)},
+    "dresnet": {"filters": (4, 8)},
+    "inceptiontime": {"depth": 2, "n_filters": 3},
+    "cinceptiontime": {"depth": 2, "n_filters": 3},
+    "dinceptiontime": {"depth": 2, "n_filters": 3},
+    "rnn": {"hidden_size": 8},
+    "gru": {"hidden_size": 8},
+    "lstm": {"hidden_size": 8},
+    "mtex": {"block1_filters": (3, 4), "block2_filters": 4, "hidden_units": 8},
+}
+
+
+def _build(name):
+    return create_model(name, N_DIMS, LENGTH, N_CLASSES,
+                        rng=np.random.default_rng(0), **SMALL_KWARGS[name])
+
+
+class TestRegistry:
+    def test_all_13_architectures_registered(self):
+        assert len(available_models()) == 13
+        assert set(BASELINE_MODELS + C_BASELINE_MODELS + D_MODELS) == set(available_models())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            create_model("transformer", 2, 10, 2)
+
+    def test_name_normalisation(self):
+        model = create_model("d-CNN", N_DIMS, LENGTH, N_CLASSES, filters=(4,))
+        assert isinstance(model, DCNNClassifier)
+
+    def test_paper_cnn_filters_constant(self):
+        assert PAPER_CNN_FILTERS == (64, 128, 256, 256, 256)
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("name", sorted(SMALL_KWARGS))
+    def test_logits_shape(self, name):
+        model = _build(name)
+        logits = model.logits(BATCH)
+        assert logits.shape == (5, N_CLASSES)
+
+    @pytest.mark.parametrize("name", sorted(SMALL_KWARGS))
+    def test_predict_and_proba(self, name):
+        model = _build(name)
+        proba = model.predict_proba(BATCH)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(5), rtol=1e-9)
+        predictions = model.predict(BATCH)
+        assert predictions.shape == (5,)
+        assert set(predictions.tolist()).issubset(set(range(N_CLASSES)))
+
+    @pytest.mark.parametrize("name", ["cnn", "resnet", "inceptiontime"])
+    def test_plain_feature_maps_are_1d(self, name):
+        model = _build(name)
+        features = model.features(model.prepare_input(BATCH[:1]))
+        assert features.ndim == 3
+        assert features.shape[2] == LENGTH
+
+    @pytest.mark.parametrize("name", ["ccnn", "cresnet", "cinceptiontime",
+                                      "dcnn", "dresnet", "dinceptiontime"])
+    def test_2d_feature_maps_cover_dimensions_and_time(self, name):
+        model = _build(name)
+        features = model.features(model.prepare_input(BATCH[:1]))
+        assert features.ndim == 4
+        assert features.shape[2] == N_DIMS
+        assert features.shape[3] == LENGTH
+
+    @pytest.mark.parametrize("name", ["dcnn", "dresnet", "dinceptiontime"])
+    def test_cube_models_accept_permutations(self, name):
+        model = _build(name)
+        order = np.array([1, 0, 3, 2])
+        prepared = model.prepare_input(BATCH[:1], order)
+        assert prepared.shape == (1, N_DIMS, N_DIMS, LENGTH)
+
+    @pytest.mark.parametrize("name", ["cnn", "ccnn", "rnn", "mtex"])
+    def test_non_cube_models_reject_permutations(self, name):
+        model = _build(name)
+        with pytest.raises(ValueError):
+            model.prepare_input(BATCH[:1], np.array([1, 0, 3, 2]))
+
+    def test_class_weights_shape(self):
+        model = _build("dcnn")
+        assert model.class_weights.shape == (N_CLASSES, model.feature_channels)
+
+    def test_mtex_block_features(self):
+        model = _build("mtex")
+        prepared = model.prepare_input(BATCH[:1])
+        assert model.block1_features(prepared).shape[2:] == (N_DIMS, LENGTH)
+        assert model.block2_features(prepared).shape[2] == LENGTH
+
+    def test_recurrent_models_do_not_expose_cam_features(self):
+        model = _build("gru")
+        with pytest.raises(NotImplementedError):
+            model.features(model.prepare_input(BATCH[:1]))
+
+    def test_supports_cam_flags(self):
+        assert _build("dcnn").supports_cam
+        assert _build("resnet").supports_cam
+        assert not _build("gru").supports_cam
+        assert not _build("mtex").supports_cam
+
+
+class TestConstructionValidation:
+    def test_invalid_problem_shape(self):
+        with pytest.raises(ValueError):
+            CNNClassifier(0, 10, 2)
+        with pytest.raises(ValueError):
+            CNNClassifier(2, 10, 1)
+
+    def test_empty_filters_rejected(self):
+        for cls in (CNNClassifier, CCNNClassifier, DCNNClassifier):
+            with pytest.raises(ValueError):
+                cls(N_DIMS, LENGTH, N_CLASSES, filters=())
+        with pytest.raises(ValueError):
+            ResNetClassifier(N_DIMS, LENGTH, N_CLASSES, filters=())
+
+    def test_inception_depth_validation(self):
+        with pytest.raises(ValueError):
+            InceptionTimeClassifier(N_DIMS, LENGTH, N_CLASSES, depth=0)
+
+    def test_resnet_even_kernels_keep_length(self):
+        model = DResNetClassifier(N_DIMS, LENGTH, N_CLASSES, filters=(4,),
+                                  kernel_sizes=(8, 5, 3), rng=np.random.default_rng(0))
+        features = model.features(model.prepare_input(BATCH[:1]))
+        assert features.shape[-1] == LENGTH
+
+    def test_fit_rejects_wrong_shape(self):
+        model = _build("cnn")
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, N_DIMS + 1, LENGTH)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, N_DIMS * LENGTH)), np.zeros(4, dtype=int))

@@ -1,0 +1,166 @@
+"""Unit tests of convolution / pooling / softmax ops (repro.nn.functional)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from tests.helpers import numerical_gradient
+
+
+def _loss_of(builder):
+    return float((builder().data ** 2).sum())
+
+
+class TestConv2d:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.x = rng.standard_normal((2, 3, 4, 7))
+        self.w = rng.standard_normal((5, 3, 2, 3))
+        self.b = rng.standard_normal(5)
+
+    def _forward(self, stride=(1, 1), padding=(0, 0)):
+        return F.conv2d(Tensor(self.x), Tensor(self.w), Tensor(self.b),
+                        stride=stride, padding=padding)
+
+    def test_output_shape_no_padding(self):
+        assert self._forward().shape == (2, 5, 3, 5)
+
+    def test_output_shape_with_padding(self):
+        assert self._forward(padding=(1, 1)).shape == (2, 5, 5, 7)
+
+    def test_output_shape_with_stride(self):
+        assert self._forward(stride=(1, 2)).shape == (2, 5, 3, 3)
+
+    def test_matches_naive_convolution(self):
+        out = self._forward().data
+        batch, out_ch, out_h, out_w = out.shape
+        naive = np.zeros_like(out)
+        for b in range(batch):
+            for o in range(out_ch):
+                for i in range(out_h):
+                    for j in range(out_w):
+                        patch = self.x[b, :, i: i + 2, j: j + 3]
+                        naive[b, o, i, j] = (patch * self.w[o]).sum() + self.b[o]
+        np.testing.assert_allclose(out, naive, rtol=1e-10)
+
+    def test_gradients_match_numerical(self):
+        x_t = Tensor(self.x.copy(), requires_grad=True)
+        w_t = Tensor(self.w.copy(), requires_grad=True)
+        b_t = Tensor(self.b.copy(), requires_grad=True)
+        out = F.conv2d(x_t, w_t, b_t, padding=(0, 1))
+        (out * out).sum().backward()
+
+        def loss():
+            return _loss_of(lambda: F.conv2d(Tensor(x_t.data), Tensor(w_t.data),
+                                             Tensor(b_t.data), padding=(0, 1)))
+
+        np.testing.assert_allclose(numerical_gradient(loss, x_t.data), x_t.grad,
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(numerical_gradient(loss, w_t.data), w_t.grad,
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(numerical_gradient(loss, b_t.data), b_t.grad,
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_gradients_with_stride(self):
+        x_t = Tensor(self.x.copy(), requires_grad=True)
+        w_t = Tensor(self.w.copy(), requires_grad=True)
+        out = F.conv2d(x_t, w_t, None, stride=(1, 2))
+        (out * out).sum().backward()
+
+        def loss():
+            return _loss_of(lambda: F.conv2d(Tensor(x_t.data), Tensor(w_t.data),
+                                             None, stride=(1, 2)))
+
+        np.testing.assert_allclose(numerical_gradient(loss, x_t.data), x_t.grad,
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((3, 5, 1, 1))))
+
+
+class TestConv1d:
+    def test_shape_and_values(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 3, 10))
+        w = rng.standard_normal((4, 3, 3))
+        out = F.conv1d(Tensor(x), Tensor(w), padding=1)
+        assert out.shape == (2, 4, 10)
+        # Compare against conv2d on an expanded input.
+        expected = F.conv2d(Tensor(x[:, :, None, :]), Tensor(w[:, :, None, :]),
+                            padding=(0, 1)).data[:, :, 0, :]
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_gradient_flow(self):
+        x = Tensor(np.random.default_rng(2).standard_normal((1, 2, 8)), requires_grad=True)
+        w = Tensor(np.random.default_rng(3).standard_normal((3, 2, 3)), requires_grad=True)
+        F.conv1d(x, w, padding=1).sum().backward()
+        assert x.grad is not None and x.grad.shape == x.shape
+        assert w.grad is not None and w.grad.shape == w.shape
+
+
+class TestPooling:
+    def test_max_pool2d_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, (2, 2))
+        np.testing.assert_allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool2d_gradient_routes_to_max(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, (2, 2)).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_max_pool1d(self):
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 5.0]]]))
+        out = F.max_pool1d(x, 2)
+        np.testing.assert_allclose(out.data, [[[3.0, 5.0]]])
+
+    def test_global_average_pool_3d_and_4d(self):
+        x3 = Tensor(np.ones((2, 3, 5)) * 2.0)
+        x4 = Tensor(np.ones((2, 3, 4, 5)) * 3.0)
+        np.testing.assert_allclose(F.global_average_pool(x3).data, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(F.global_average_pool(x4).data, np.full((2, 3), 3.0))
+
+    def test_global_average_pool_gradient(self):
+        x = Tensor(np.random.default_rng(4).standard_normal((2, 3, 5)), requires_grad=True)
+        F.global_average_pool(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3, 5), 1.0 / 5.0))
+
+
+class TestSoftmaxDropoutLinear:
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(5).standard_normal((4, 6)) * 10)
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), rtol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_softmax_is_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(6).standard_normal((3, 4)))
+        np.testing.assert_allclose(F.log_softmax(x).data, np.log(F.softmax(x).data),
+                                   rtol=1e-10)
+
+    def test_dropout_disabled_in_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_linear_matches_manual(self):
+        x = Tensor(np.random.default_rng(8).standard_normal((4, 3)))
+        w = Tensor(np.random.default_rng(9).standard_normal((2, 3)))
+        b = Tensor(np.array([1.0, -1.0]))
+        np.testing.assert_allclose(F.linear(x, w, b).data, x.data @ w.data.T + b.data)

@@ -1,0 +1,223 @@
+"""Unit tests of modules / layers (repro.nn.layers) and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv1d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAveragePooling,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool1d,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    load_state_dict,
+    save_state_dict,
+)
+
+
+class TestModuleDiscovery:
+    def test_named_parameters_nested(self):
+        model = Sequential(Linear(4, 3), ReLU(), Linear(3, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert all("children_list" in name for name in names)
+
+    def test_parameters_in_lists_are_discovered(self):
+        class WithList(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2), Linear(2, 2)]
+
+            def forward(self, x):
+                return self.layers[1](self.layers[0](x))
+
+        model = WithList()
+        assert len(model.parameters()) == 4
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5), BatchNorm(2))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        model = Sequential(Linear(3, 4), BatchNorm(4), Linear(4, 2))
+        state = model.state_dict()
+        clone = Sequential(Linear(3, 4), BatchNorm(4), Linear(4, 2))
+        clone.load_state_dict(state)
+        x = np.random.default_rng(0).standard_normal((5, 3))
+        model.eval()
+        clone.eval()
+        np.testing.assert_allclose(model(Tensor(x)).data, clone(Tensor(x)).data)
+
+    def test_load_state_dict_rejects_unknown_key(self):
+        model = Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nonexistent": np.zeros(2)})
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        model = Linear(2, 2)
+        state = model.state_dict()
+        bad = {name: np.zeros((7, 7)) for name in state if not name.startswith("buffer.")}
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+    def test_save_and_load_to_disk(self, tmp_path):
+        model = Sequential(Linear(3, 3), BatchNorm(3))
+        path = str(tmp_path / "weights.npz")
+        save_state_dict(model, path)
+        clone = Sequential(Linear(3, 3), BatchNorm(3))
+        load_state_dict(clone, path)
+        x = np.ones((2, 3))
+        model.eval()
+        clone.eval()
+        np.testing.assert_allclose(model(Tensor(x)).data, clone(Tensor(x)).data)
+
+
+class TestLinearConv:
+    def test_linear_shapes(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 5))))
+        assert out.shape == (2, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(5, 3, bias=False)
+        assert layer.bias is None
+
+    def test_conv1d_same_padding_preserves_length(self):
+        layer = Conv1d(2, 4, 3, padding=1, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((1, 2, 9))))
+        assert out.shape == (1, 4, 9)
+
+    def test_conv2d_kernel_1xk(self):
+        layer = Conv2d(3, 6, (1, 5), padding=(0, 2), rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 3, 4, 11))))
+        assert out.shape == (2, 6, 4, 11)
+
+    def test_conv_training_reduces_loss(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 1, 16))
+        target = x[:, :, ::2] * 2.0
+        layer = Conv1d(1, 1, 3, padding=1, rng=rng)
+        from repro.nn import Adam
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(30):
+            out = layer(Tensor(x))[:, :, ::2]
+            loss = ((out - Tensor(target)) ** 2).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        layer = BatchNorm(3)
+        x = np.random.default_rng(2).standard_normal((32, 3, 20)) * 5 + 7
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2)), np.zeros(3), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2)), np.ones(3), atol=1e-3)
+
+    def test_running_stats_updated(self):
+        layer = BatchNorm(2, momentum=0.5)
+        x = np.ones((4, 2, 5)) * 3.0
+        layer(Tensor(x))
+        assert np.all(layer.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        layer = BatchNorm(2)
+        x = np.random.default_rng(3).standard_normal((16, 2, 10)) + 4.0
+        for _ in range(20):
+            layer(Tensor(x))
+        layer.eval()
+        out_eval = layer(Tensor(x)).data
+        # With converged running statistics, eval output is close to normalized.
+        assert abs(out_eval.mean()) < 0.5
+
+    def test_channel_mismatch_raises(self):
+        layer = BatchNorm(3)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((2, 4, 5))))
+
+    def test_2d_input_supported(self):
+        layer = BatchNorm(4)
+        out = layer(Tensor(np.random.default_rng(4).standard_normal((8, 4))))
+        assert out.shape == (8, 4)
+
+
+class TestActivationsAndPooling:
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    @pytest.mark.parametrize("layer, value, expected", [
+        (ReLU(), -1.0, 0.0),
+        (LeakyReLU(0.1), -1.0, -0.1),
+        (Tanh(), 0.0, 0.0),
+        (Sigmoid(), 0.0, 0.5),
+    ])
+    def test_activation_values(self, layer, value, expected):
+        out = layer(Tensor(np.array([value])))
+        np.testing.assert_allclose(out.data, [expected], atol=1e-12)
+
+    def test_max_pool_layers(self):
+        x1 = Tensor(np.arange(8.0).reshape(1, 1, 8))
+        assert MaxPool1d(2)(x1).shape == (1, 1, 4)
+        x2 = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        assert MaxPool2d((2, 2))(x2).shape == (1, 1, 2, 2)
+
+    def test_gap_layer(self):
+        x = Tensor(np.ones((2, 5, 3, 4)))
+        assert GlobalAveragePooling()(x).shape == (2, 5)
+
+    def test_flatten_layer(self):
+        x = Tensor(np.ones((2, 3, 4)))
+        assert Flatten()(x).shape == (2, 12)
+
+    def test_dropout_layer_respects_mode(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+
+class TestSequential:
+    def test_iteration_and_indexing(self):
+        block = Sequential(Linear(2, 3), ReLU())
+        assert len(block) == 2
+        assert isinstance(block[1], ReLU)
+        assert [type(m).__name__ for m in block] == ["Linear", "ReLU"]
+
+    def test_append(self):
+        block = Sequential(Linear(2, 2))
+        block.append(ReLU())
+        assert len(block) == 2
+
+    def test_forward_composition(self):
+        block = Sequential(Linear(3, 3, rng=np.random.default_rng(0)), ReLU())
+        out = block(Tensor(np.ones((1, 3))))
+        assert (out.data >= 0).all()

@@ -1,0 +1,156 @@
+"""Unit tests of losses and optimizers (repro.nn.loss / repro.nn.optim)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CrossEntropyLoss,
+    Linear,
+    Tensor,
+    clip_grad_norm,
+    cross_entropy,
+    mse_loss,
+    nll_loss,
+)
+from repro.nn import functional as F
+from repro.nn.layers import Parameter
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 1.0, 0.1], [0.5, 2.5, 0.0]])
+        targets = np.array([0, 1])
+        loss = cross_entropy(Tensor(logits), targets).item()
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(2), targets]))
+        assert abs(loss - expected) < 1e-10
+
+    def test_perfect_prediction_has_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = cross_entropy(Tensor(logits), np.array([0, 1])).item()
+        assert loss < 1e-6
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        targets = np.array([2])
+        cross_entropy(logits, targets).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum()
+        expected = probs.copy()
+        expected[0, 2] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, rtol=1e-10)
+
+    def test_class_weights(self):
+        logits = Tensor(np.array([[0.0, 0.0], [0.0, 0.0]]))
+        unweighted = cross_entropy(logits, np.array([0, 1])).item()
+        weighted = cross_entropy(logits, np.array([0, 1]),
+                                 class_weights=np.array([1.0, 3.0])).item()
+        # Equal logits: both classes have the same per-instance loss, so the
+        # weighted mean equals the unweighted one.
+        assert abs(unweighted - weighted) < 1e-12
+
+    def test_rejects_bad_target_shape(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([[0], [1]]))
+
+    def test_loss_object(self):
+        loss_fn = CrossEntropyLoss()
+        value = loss_fn(Tensor(np.zeros((2, 4))), np.array([1, 2]))
+        assert abs(value.item() - np.log(4)) < 1e-10
+
+    def test_nll_loss_consistent_with_cross_entropy(self):
+        logits = Tensor(np.random.default_rng(0).standard_normal((3, 4)))
+        targets = np.array([0, 3, 1])
+        ce = cross_entropy(logits, targets).item()
+        nll = nll_loss(F.log_softmax(logits), targets).item()
+        assert abs(ce - nll) < 1e-10
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert abs(mse_loss(pred, np.array([0.0, 0.0])).item() - 2.5) < 1e-12
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # Minimise ||w - target||^2; optimum is w == target.
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+        return param, target
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = ((param - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        param_plain, target = self._quadratic_problem()
+        param_momentum = Parameter(np.zeros(3))
+        plain = SGD([param_plain], lr=0.01)
+        momentum = SGD([param_momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for param, optimizer in ((param_plain, plain), (param_momentum, momentum)):
+                loss = ((param - Tensor(target)) ** 2).sum()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        error_plain = np.abs(param_plain.data - target).sum()
+        error_momentum = np.abs(param_momentum.data - target).sum()
+        assert error_momentum < error_plain
+
+    def test_adam_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            loss = ((param - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            loss = (param * 0.0).sum()  # gradient comes only from the decay
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_step_skips_parameters_without_gradient(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        optimizer.step()  # no backward was called; should be a no-op
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_clip_grad_norm(self):
+        param = Parameter(np.array([3.0, 4.0]))
+        (param * param).sum().backward()  # grad = [6, 8], norm 10
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert abs(norm - 10.0) < 1e-9
+        np.testing.assert_allclose(np.linalg.norm(param.grad), 1.0, rtol=1e-9)
+
+    def test_training_a_small_classifier_improves_accuracy(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((64, 10))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = Linear(10, 2, rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(100):
+            logits = model(Tensor(X))
+            loss = cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        accuracy = (model(Tensor(X)).data.argmax(axis=1) == y).mean()
+        assert accuracy > 0.9

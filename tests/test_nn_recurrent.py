@@ -1,0 +1,75 @@
+"""Unit tests of the recurrent cells and layers (repro.nn.recurrent)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell, LSTMCell, RecurrentLayer, RNNCell, Tensor
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestCells:
+    def test_rnn_cell_shape_and_range(self):
+        cell = RNNCell(3, 5, rng=np.random.default_rng(0))
+        h = cell(Tensor(RNG.standard_normal((4, 3))), Tensor(np.zeros((4, 5))))
+        assert h.shape == (4, 5)
+        assert (np.abs(h.data) <= 1.0).all()  # tanh output
+
+    def test_lstm_cell_returns_hidden_and_cell(self):
+        cell = LSTMCell(3, 6, rng=np.random.default_rng(1))
+        state = (Tensor(np.zeros((2, 6))), Tensor(np.zeros((2, 6))))
+        hidden, cell_state = cell(Tensor(RNG.standard_normal((2, 3))), state)
+        assert hidden.shape == (2, 6)
+        assert cell_state.shape == (2, 6)
+
+    def test_lstm_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(2, 4)
+        np.testing.assert_allclose(cell.bias.data[4:8], np.ones(4))
+
+    def test_gru_cell_shape(self):
+        cell = GRUCell(3, 5, rng=np.random.default_rng(2))
+        h = cell(Tensor(RNG.standard_normal((4, 3))), Tensor(np.zeros((4, 5))))
+        assert h.shape == (4, 5)
+
+    def test_gru_zero_update_gate_keeps_candidate(self):
+        # With zero hidden state the output is a convex combination of 0 and the
+        # candidate, so it must stay within the tanh range.
+        cell = GRUCell(2, 3, rng=np.random.default_rng(3))
+        h = cell(Tensor(np.ones((1, 2))), Tensor(np.zeros((1, 3))))
+        assert (np.abs(h.data) <= 1.0).all()
+
+
+class TestRecurrentLayer:
+    @pytest.mark.parametrize("cell_type", ["rnn", "lstm", "gru"])
+    def test_output_shape(self, cell_type):
+        layer = RecurrentLayer(cell_type, 4, 8, rng=np.random.default_rng(0))
+        out = layer(Tensor(RNG.standard_normal((3, 4, 12))))
+        assert out.shape == (3, 8)
+
+    @pytest.mark.parametrize("cell_type", ["rnn", "lstm", "gru"])
+    def test_gradients_flow_to_parameters(self, cell_type):
+        layer = RecurrentLayer(cell_type, 3, 5, rng=np.random.default_rng(1))
+        out = layer(Tensor(RNG.standard_normal((2, 3, 6))))
+        (out * out).sum().backward()
+        grads = [p.grad for p in layer.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_unknown_cell_type_raises(self):
+        with pytest.raises(ValueError):
+            RecurrentLayer("transformer", 3, 5)
+
+    def test_deterministic_given_seed(self):
+        x = RNG.standard_normal((2, 3, 7))
+        a = RecurrentLayer("gru", 3, 4, rng=np.random.default_rng(7))(Tensor(x)).data
+        b = RecurrentLayer("gru", 3, 4, rng=np.random.default_rng(7))(Tensor(x)).data
+        np.testing.assert_allclose(a, b)
+
+    def test_depends_on_whole_sequence(self):
+        layer = RecurrentLayer("rnn", 2, 4, rng=np.random.default_rng(5))
+        x = RNG.standard_normal((1, 2, 10))
+        base = layer(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 0, 0] += 10.0  # change the very first time step
+        assert not np.allclose(base, layer(Tensor(perturbed)).data)

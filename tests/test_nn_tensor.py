@@ -1,0 +1,276 @@
+"""Unit tests of the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, ones, randn, tensor, zeros
+
+from tests.helpers import numerical_gradient
+
+
+def _check_gradient(build, *arrays, rtol=1e-5, atol=1e-6):
+    """Compare analytic gradients of ``build(*tensors)`` against finite differences."""
+    tensors = [Tensor(np.array(a, dtype=np.float64), requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for array, wrapped in zip(arrays, tensors):
+        def scalar():
+            fresh = [Tensor(np.array(a, dtype=np.float64)) for a in arrays]
+            return float(build(*fresh).data)
+        numeric = numerical_gradient(scalar, array)
+        np.testing.assert_allclose(wrapped.grad, numeric, rtol=rtol, atol=atol)
+
+
+class TestConstruction:
+    def test_scalar_tensor(self):
+        t = tensor(3.0)
+        assert t.shape == ()
+        assert t.item() == 3.0
+
+    def test_zeros_ones_randn(self):
+        assert zeros((2, 3)).data.sum() == 0
+        assert ones((2, 3)).data.sum() == 6
+        assert randn((4, 5), rng=np.random.default_rng(0)).shape == (4, 5)
+
+    def test_detach_breaks_graph(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        detached = x.detach()
+        assert not detached.requires_grad
+
+    def test_len_and_ndim(self):
+        x = tensor(np.ones((3, 2)))
+        assert len(x) == 3
+        assert x.ndim == 2
+        assert x.size == 6
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        x = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = tensor([4.0, 5.0, 6.0], requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(3))
+        np.testing.assert_allclose(y.grad, np.ones(3))
+
+    def test_mul_backward(self):
+        x = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = tensor([4.0, 5.0, 6.0], requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 5.0, 6.0])
+        np.testing.assert_allclose(y.grad, [1.0, 2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        x = tensor([5.0], requires_grad=True)
+        y = tensor([3.0], requires_grad=True)
+        (x - y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+        np.testing.assert_allclose(y.grad, [-1.0])
+
+    def test_div_gradient(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0.5, 2.0, size=(3, 2))
+        b = rng.uniform(0.5, 2.0, size=(3, 2))
+        _check_gradient(lambda x, y: (x / y).sum(), a, b)
+
+    def test_pow_gradient(self):
+        a = np.random.default_rng(1).uniform(0.5, 2.0, size=(4,))
+        _check_gradient(lambda x: (x ** 3).sum(), a)
+
+    def test_scalar_broadcasting(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        (2.0 * x + 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_broadcast_unbroadcast_gradient(self):
+        a = np.random.default_rng(2).standard_normal((3, 4))
+        b = np.random.default_rng(3).standard_normal((4,))
+        _check_gradient(lambda x, y: (x * y).sum(), a, b)
+
+    def test_rsub_rtruediv(self):
+        x = tensor([2.0], requires_grad=True)
+        (1.0 - x).sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0])
+        y = tensor([2.0], requires_grad=True)
+        (1.0 / y).sum().backward()
+        np.testing.assert_allclose(y.grad, [-0.25])
+
+
+class TestMatmul:
+    def test_matmul_2d_gradient(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        _check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_matmul_batched_gradient(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((4, 5))
+        _check_gradient(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_matmul_values(self):
+        a = tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = tensor([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose((a @ b).data, a.data)
+
+
+class TestNonLinearities:
+    @pytest.mark.parametrize("op", ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary_gradients(self, op):
+        rng = np.random.default_rng(5)
+        a = rng.uniform(0.3, 2.0, size=(3, 3))
+        _check_gradient(lambda x: getattr(x, op)().sum(), a)
+
+    def test_relu_zeroes_negative(self):
+        x = tensor([-1.0, 0.5], requires_grad=True)
+        out = x.relu()
+        np.testing.assert_allclose(out.data, [0.0, 0.5])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu(self):
+        x = tensor([-2.0, 3.0], requires_grad=True)
+        out = x.leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_clip_gradient_mask(self):
+        x = tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        a = np.random.default_rng(7).standard_normal((4, 5))
+        _check_gradient(lambda x: x.mean(), a)
+
+    def test_var_matches_numpy(self):
+        data = np.random.default_rng(8).standard_normal((3, 6))
+        x = tensor(data)
+        np.testing.assert_allclose(x.var(axis=1).data, data.var(axis=1))
+
+    def test_var_gradient(self):
+        a = np.random.default_rng(9).standard_normal((3, 4))
+        _check_gradient(lambda x: x.var(axis=1).sum(), a)
+
+    def test_max_gradient_routes_to_argmax(self):
+        x = tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_min(self):
+        x = tensor([[3.0, -1.0, 2.0]])
+        assert x.min().item() == -1.0
+
+
+class TestShapes:
+    def test_reshape_roundtrip_gradient(self):
+        a = np.random.default_rng(10).standard_normal((2, 6))
+        _check_gradient(lambda x: (x.reshape(3, 4) ** 2).sum(), a)
+
+    def test_transpose_gradient(self):
+        a = np.random.default_rng(11).standard_normal((2, 3, 4))
+        _check_gradient(lambda x: (x.transpose(2, 0, 1) ** 2).sum(), a)
+
+    def test_swapaxes(self):
+        x = tensor(np.arange(6.0).reshape(2, 3))
+        assert x.swapaxes(0, 1).shape == (3, 2)
+
+    def test_expand_squeeze(self):
+        x = tensor(np.ones((2, 3)), requires_grad=True)
+        y = x.expand_dims(1)
+        assert y.shape == (2, 1, 3)
+        z = y.squeeze(axis=1)
+        assert z.shape == (2, 3)
+        z.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_getitem_gradient(self):
+        x = tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        x[1:, :2].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1:, :2] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_getitem_fancy_indexing(self):
+        x = tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[np.array([0, 1]), np.array([2, 0])].sum().backward()
+        expected = np.zeros((2, 3))
+        expected[0, 2] = expected[1, 0] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_pad_gradient(self):
+        x = tensor(np.ones((2, 3)), requires_grad=True)
+        padded = x.pad(((0, 0), (1, 1)))
+        assert padded.shape == (2, 5)
+        padded.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_concatenate_gradient(self):
+        a = tensor(np.ones((2, 2)), requires_grad=True)
+        b = tensor(np.ones((2, 3)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_stack(self):
+        a = tensor(np.zeros((2, 3)))
+        b = tensor(np.ones((2, 3)))
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 2, 3)
+
+    def test_flatten(self):
+        x = tensor(np.ones((2, 3, 4)))
+        assert x.flatten().shape == (2, 12)
+
+
+class TestAutogradMechanics:
+    def test_backward_requires_scalar(self):
+        x = tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_gradient_accumulates_on_reuse(self):
+        x = tensor([2.0], requires_grad=True)
+        y = x * x + x * 3.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_zero_grad(self):
+        x = tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_tracking_for_constants(self):
+        x = tensor([1.0])
+        y = x * 2
+        assert not y.requires_grad
+
+    def test_diamond_graph_gradient(self):
+        # f(x) = (x*2) + (x*3): both branches contribute.
+        x = tensor([1.0], requires_grad=True)
+        left = x * 2.0
+        right = x * 3.0
+        (left + right).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_deep_chain(self):
+        x = tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.1 ** 50], rtol=1e-10)

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) of the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+FLOATS = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False,
+                   width=64)
+
+
+def small_arrays(max_side=4, min_dims=1, max_dims=3):
+    return hnp.arrays(dtype=np.float64,
+                      shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims,
+                                             min_side=1, max_side=max_side),
+                      elements=FLOATS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_addition_gradient_is_ones(array):
+    x = Tensor(array, requires_grad=True)
+    (x + x).sum().backward()
+    np.testing.assert_allclose(x.grad, 2.0 * np.ones_like(array))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_then_backward_gives_unit_gradient(array):
+    x = Tensor(array, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(array))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mul_gradient_equals_other_operand(array):
+    other = np.full_like(array, 3.0)
+    x = Tensor(array, requires_grad=True)
+    (x * Tensor(other)).sum().backward()
+    np.testing.assert_allclose(x.grad, other)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_output_nonnegative_and_grad_binary(array):
+    x = Tensor(array, requires_grad=True)
+    out = x.relu()
+    assert (out.data >= 0).all()
+    out.sum().backward()
+    assert set(np.unique(x.grad)).issubset({0.0, 1.0})
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_exp_log_roundtrip(array):
+    positive = np.abs(array) + 1.0
+    x = Tensor(positive)
+    np.testing.assert_allclose(x.exp().log().data, positive, rtol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_side=5, min_dims=2, max_dims=2))
+def test_softmax_rows_are_distributions(array):
+    probs = F.softmax(Tensor(array), axis=-1).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(array.shape[0]), rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_side=5, min_dims=2, max_dims=2))
+def test_softmax_invariant_to_constant_shift(array):
+    shifted = array + 100.0
+    a = F.softmax(Tensor(array)).data
+    b = F.softmax(Tensor(shifted)).data
+    np.testing.assert_allclose(a, b, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_side=4, min_dims=2, max_dims=2))
+def test_reshape_preserves_values_and_gradients(array):
+    x = Tensor(array, requires_grad=True)
+    out = x.reshape(-1)
+    np.testing.assert_allclose(out.data, array.reshape(-1))
+    out.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(array))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=3, max_value=8))
+def test_conv1d_output_length_with_same_padding(in_channels, out_channels, length):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((2, in_channels, length)))
+    w = Tensor(rng.standard_normal((out_channels, in_channels, 3)))
+    out = F.conv1d(x, w, padding=1)
+    assert out.shape == (2, out_channels, length)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_side=4, min_dims=3, max_dims=3))
+def test_global_average_pool_matches_mean(array):
+    pooled = F.global_average_pool(Tensor(array)).data
+    np.testing.assert_allclose(pooled, array.mean(axis=-1), rtol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_side=4, min_dims=2, max_dims=2))
+def test_conv_is_linear_in_input(array):
+    """conv(a x) == a conv(x): convolution without bias is linear."""
+    rng = np.random.default_rng(1)
+    x = array[None, None, :, :]
+    w = Tensor(rng.standard_normal((2, 1, 1, min(3, array.shape[1]))))
+    base = F.conv2d(Tensor(x), w).data
+    scaled = F.conv2d(Tensor(3.0 * x), w).data
+    np.testing.assert_allclose(scaled, 3.0 * base, rtol=1e-8, atol=1e-9)
