@@ -20,7 +20,6 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Tensor
 
 
 def _check_model(model) -> None:

@@ -15,15 +15,27 @@ Given a trained d-architecture (dCNN / dResNet / dInceptionTime), dCAM
 The number ``n_g`` of permutations that the model classifies correctly is also
 recorded; ``n_g / k`` is the paper's label-free proxy for explanation quality
 (Sections 4.6 and 5.6).
+
+Execution strategy
+------------------
+Explanation only needs activations, never gradients, so the hot path runs the
+``k`` permuted cubes through the model in micro-batches under
+:func:`repro.nn.inference_mode`: no autograd graph is recorded, the im2col
+buffers of the convolutions are released immediately, and the per-permutation
+``M`` transformations are materialised by one fancy-indexed gather over the
+stacked ``(k, D, n)`` CAM array instead of a Python loop of ``(D, D, n)``
+temporaries.  :func:`_permutation_cam` retains the legacy one-permutation
+graph-recording path as a numerical reference for tests and benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn import inference_mode
 from .input_transform import inverse_order, random_permutations
 
 __all__ = [
@@ -34,6 +46,20 @@ __all__ = [
     "extract_dcam",
     "explanation_quality_proxy",
 ]
+
+#: Default number of permuted cubes per forward pass.  Bounds the peak im2col
+#: footprint (which grows linearly with the micro-batch size) while keeping
+#: the matrix multiplications large enough to amortise Python dispatch.
+DEFAULT_BATCH_SIZE = 32
+
+#: Soft cap on the scratch memory of the vectorised ``M``-transform gather;
+#: above it the gather falls back to chunking over permutations.
+_MERGE_SCRATCH_BYTES = 128 * 1024 * 1024
+
+#: Soft cap on the permuted-series + CAM arrays materialised at once by
+#: :func:`compute_dcam_batch`; above it instances are processed in groups
+#: (micro-batching still crosses instance boundaries within a group).
+_BATCH_MATERIALIZE_BYTES = 256 * 1024 * 1024
 
 
 @dataclass
@@ -81,7 +107,12 @@ class DCAMResult:
 
 def _permutation_cam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: int,
                      order: np.ndarray) -> tuple[np.ndarray, int]:
-    """CAM over the cube rows for one permutation, plus the predicted class."""
+    """CAM over the cube rows for one permutation, plus the predicted class.
+
+    Legacy batch-size-1, graph-recording path.  The production pipeline is
+    :func:`_permutation_cams_batched`; this function is kept as the
+    independent numerical reference the equivalence tests compare against.
+    """
     prepared = model.prepare_input(series[None], order)
     features = model.features(prepared)
     pooled = model.gap(features)
@@ -90,6 +121,77 @@ def _permutation_cam(model: "ConvBackboneClassifier", series: np.ndarray, class_
     cam_rows = np.tensordot(weights, features.data[0], axes=(0, 0))  # (D, n)
     predicted = int(logits.data[0].argmax())
     return cam_rows, predicted
+
+
+def _require_d_architecture(model: "ConvBackboneClassifier") -> None:
+    if getattr(model, "input_kind", None) != "cube":
+        raise TypeError(
+            f"dCAM requires a d-architecture (dCNN/dResNet/dInceptionTime); "
+            f"got {type(model).__name__}"
+        )
+
+
+def _stack_orders(permutations: Sequence[np.ndarray], n_dimensions: int) -> np.ndarray:
+    """Validate and stack permutations into a ``(k, D)`` integer array."""
+    try:
+        orders = np.asarray([np.asarray(order) for order in permutations])
+    except ValueError as error:
+        raise ValueError(
+            f"permutations must all have length {n_dimensions} to match the "
+            f"series dimensions"
+        ) from error
+    if orders.ndim != 2 or orders.shape[1] != n_dimensions:
+        raise ValueError(
+            f"permutations must have shape (k, {n_dimensions}), got {orders.shape}"
+        )
+    if not np.issubdtype(orders.dtype, np.integer):
+        raise ValueError(
+            f"permutations must contain integer dimension indices, got dtype {orders.dtype}"
+        )
+    valid = np.sort(orders, axis=1) == np.arange(n_dimensions)[None, :]
+    if not valid.all():
+        index = int(np.flatnonzero(~valid.all(axis=1))[0])
+        raise ValueError(f"permutation #{index} is not a permutation of range({n_dimensions})")
+    return orders.astype(np.intp, copy=False)
+
+
+def _permutation_cams_batched(model: "ConvBackboneClassifier", permuted: np.ndarray,
+                              class_weights: np.ndarray,
+                              batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Forward pre-permuted series through the model in graph-free micro-batches.
+
+    Parameters
+    ----------
+    permuted:
+        Stack of dimension-permuted series, shape ``(N, D, n)``.
+    class_weights:
+        Per-row dense-layer weight vectors ``w^{C}`` of shape ``(N, F)`` —
+        rows may differ when explaining several instances/classes at once.
+    batch_size:
+        Number of cubes per forward pass (peak-memory knob).
+
+    Returns
+    -------
+    cams:
+        Stacked CAM rows, shape ``(N, D, n)``.
+    predicted:
+        Predicted class per permuted series, shape ``(N,)``.
+    """
+    n_total, n_dimensions, length = permuted.shape
+    cams = np.empty((n_total, n_dimensions, length))
+    predicted = np.empty(n_total, dtype=np.int64)
+    batch_size = max(1, int(batch_size))
+    with inference_mode():
+        for start in range(0, n_total, batch_size):
+            stop = min(start + batch_size, n_total)
+            prepared = model.prepare_input(permuted[start:stop])
+            features = model.features(prepared)
+            logits = model.classifier(model.gap(features))
+            cams[start:stop] = np.einsum(
+                "bf,bfdn->bdn", class_weights[start:stop], features.data
+            )
+            predicted[start:stop] = logits.data.argmax(axis=1)
+    return cams, predicted
 
 
 def _m_transform(cam_rows: np.ndarray, order: np.ndarray) -> np.ndarray:
@@ -106,15 +208,71 @@ def _m_transform(cam_rows: np.ndarray, order: np.ndarray) -> np.ndarray:
     return cam_rows[rows]  # (D, D, n)
 
 
+def _merge_cam_stack(cams: np.ndarray, orders: np.ndarray) -> np.ndarray:
+    """Average the ``M`` transformations of stacked permutation CAMs.
+
+    ``cams`` has shape ``(k, D, n)`` and ``orders`` shape ``(k, D)``.  The
+    ``M`` transforms of all permutations are materialised by a single
+    fancy-indexed gather ``cams[perm, row]`` (chunked over ``k`` when the
+    ``(k, D, D, n)`` scratch array would exceed the soft memory cap).
+    """
+    k, n_dimensions, length = cams.shape
+    # slots[p, d] = position of original dimension d under permutation p.
+    slots = np.empty_like(orders)
+    slots[np.arange(k)[:, None], orders] = np.arange(n_dimensions)[None, :]
+    positions = np.arange(n_dimensions)
+    # rows[p, d, q] = cube row holding dimension d at position q (Definition 1).
+    rows = (slots[:, :, None] - positions[None, None, :]) % n_dimensions  # (k, D, D)
+    bytes_per_perm = n_dimensions * n_dimensions * length * cams.itemsize
+    chunk = max(1, _MERGE_SCRATCH_BYTES // max(1, bytes_per_perm))
+    if chunk >= k:
+        return cams[np.arange(k)[:, None, None], rows].sum(axis=0) / k
+    total = np.zeros((n_dimensions, n_dimensions, length), dtype=cams.dtype)
+    for start in range(0, k, chunk):
+        stop = min(start + chunk, k)
+        index = np.arange(start, stop)[:, None, None]
+        total += cams[index, rows[start:stop]].sum(axis=0)
+    return total / k
+
+
 def merge_permutation_cams(cams_and_orders: Sequence[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
-    """Average the ``M`` transformations of several permutations into ``M̄``."""
+    """Average the ``M`` transformations of several permutations into ``M̄``.
+
+    Every entry must be a ``(cam_rows, order)`` pair whose ``cam_rows`` share
+    one ``(D, n)`` shape and whose ``order`` is a permutation of ``range(D)``;
+    mismatches raise :class:`ValueError` with the offending entry identified.
+    """
     if not cams_and_orders:
         raise ValueError("at least one permutation CAM is required")
-    total = None
-    for cam_rows, order in cams_and_orders:
-        transformed = _m_transform(cam_rows, np.asarray(order))
-        total = transformed if total is None else total + transformed
-    return total / len(cams_and_orders)
+    expected_shape: Optional[tuple] = None
+    cam_list: List[np.ndarray] = []
+    order_list: List[np.ndarray] = []
+    for index, (cam_rows, order) in enumerate(cams_and_orders):
+        cam_rows = np.asarray(cam_rows, dtype=np.float64)
+        order = np.asarray(order)
+        if cam_rows.ndim != 2:
+            raise ValueError(
+                f"cam_rows #{index} must be a (D, n) array, got shape {cam_rows.shape}"
+            )
+        if expected_shape is None:
+            expected_shape = cam_rows.shape
+        elif cam_rows.shape != expected_shape:
+            raise ValueError(
+                f"cam_rows #{index} has shape {cam_rows.shape} but earlier entries "
+                f"have shape {expected_shape}; all permutation CAMs must share one "
+                f"(D, n) shape"
+            )
+        n_dimensions = cam_rows.shape[0]
+        if order.shape != (n_dimensions,):
+            raise ValueError(
+                f"order #{index} has shape {order.shape} but cam_rows #{index} has "
+                f"D={n_dimensions} rows; each order must list a permutation of range(D)"
+            )
+        if not np.array_equal(np.sort(order), np.arange(n_dimensions)):
+            raise ValueError(f"order #{index} is not a permutation of range({n_dimensions})")
+        cam_list.append(cam_rows)
+        order_list.append(order.astype(np.intp))
+    return _merge_cam_stack(np.stack(cam_list), np.stack(order_list))
 
 
 def extract_dcam(m_bar: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -132,11 +290,37 @@ def extract_dcam(m_bar: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return dcam, averaged_cam
 
 
+def _assemble_result(cams: np.ndarray, orders: np.ndarray, predicted: np.ndarray,
+                     class_id: int, use_only_correct: bool) -> DCAMResult:
+    """Merge the CAMs of one instance's permutations into a :class:`DCAMResult`."""
+    correct_mask = predicted == class_id
+    n_correct = int(correct_mask.sum())
+    if use_only_correct and 0 < n_correct:
+        m_bar = _merge_cam_stack(cams[correct_mask], orders[correct_mask])
+    else:
+        m_bar = _merge_cam_stack(cams, orders)
+    dcam, averaged_cam = extract_dcam(m_bar)
+    return DCAMResult(
+        dcam=dcam,
+        m_bar=m_bar,
+        averaged_cam=averaged_cam,
+        class_id=class_id,
+        k=len(orders),
+        n_correct=n_correct,
+    )
+
+
 def compute_dcam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: int,
                  k: int = 100, rng: Optional[np.random.Generator] = None,
                  permutations: Optional[Sequence[np.ndarray]] = None,
-                 use_only_correct: bool = False) -> DCAMResult:
+                 use_only_correct: bool = False,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> DCAMResult:
     """Compute dCAM for one multivariate series.
+
+    The ``k`` permuted cubes are evaluated in graph-free micro-batches (see
+    the module docstring), which is several times faster than ``k``
+    independent autograd-recording forward passes while producing maps that
+    agree with the legacy path to float round-off (≤ 1e-10).
 
     Parameters
     ----------
@@ -155,12 +339,18 @@ def compute_dcam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: 
     use_only_correct:
         If True, only permutations classified as ``class_id`` contribute to
         ``M̄`` (falling back to all permutations when none is correct).
+    batch_size:
+        Number of permuted cubes per forward pass.  Larger values amortise
+        per-call overhead and enlarge the underlying matrix multiplications
+        (faster), but peak memory — dominated by the im2col patch buffers of
+        the convolutions — grows linearly with it.  The default of
+        ``32`` is a good trade-off for the paper's scales; lower it for very
+        long series or high-dimensional cubes, raise it for tiny problems.
+        Results agree across ``batch_size`` values (and with the legacy
+        per-permutation path) to within a few ulps of floating-point
+        round-off — well under 1e-10 — not necessarily bit-for-bit.
     """
-    if getattr(model, "input_kind", None) != "cube":
-        raise TypeError(
-            f"dCAM requires a d-architecture (dCNN/dResNet/dInceptionTime); "
-            f"got {type(model).__name__}"
-        )
+    _require_d_architecture(model)
     series = np.asarray(series, dtype=np.float64)
     if series.ndim != 2:
         raise ValueError(f"series must be (D, n), got shape {series.shape}")
@@ -168,47 +358,72 @@ def compute_dcam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: 
     model.eval()
     if permutations is None:
         permutations = random_permutations(n_dimensions, k, rng)
-    else:
-        permutations = [np.asarray(p) for p in permutations]
-    k = len(permutations)
+    orders = _stack_orders(permutations, n_dimensions)
+    k = len(orders)
 
-    collected: List[tuple[np.ndarray, np.ndarray]] = []
-    correct: List[tuple[np.ndarray, np.ndarray]] = []
-    n_correct = 0
-    for order in permutations:
-        cam_rows, predicted = _permutation_cam(model, series, class_id, order)
-        collected.append((cam_rows, order))
-        if predicted == class_id:
-            n_correct += 1
-            correct.append((cam_rows, order))
-
-    used = correct if (use_only_correct and correct) else collected
-    m_bar = merge_permutation_cams(used)
-    dcam, averaged_cam = extract_dcam(m_bar)
-    return DCAMResult(
-        dcam=dcam,
-        m_bar=m_bar,
-        averaged_cam=averaged_cam,
-        class_id=class_id,
-        k=k,
-        n_correct=n_correct,
-    )
+    # Pre-permuting the series is equivalent to passing `order` to
+    # `prepare_input` (the cube build permutes dimensions first), and lets all
+    # k permutations share one stacked array.
+    permuted = series[orders]  # (k, D, n)
+    weights = model.class_weights[class_id]
+    class_weights = np.broadcast_to(weights, (k, weights.shape[0]))
+    cams, predicted = _permutation_cams_batched(model, permuted, class_weights, batch_size)
+    return _assemble_result(cams, orders, predicted, class_id, use_only_correct)
 
 
 def compute_dcam_batch(model: "ConvBackboneClassifier", X: np.ndarray,
                        class_ids: Sequence[int], k: int = 100,
                        rng: Optional[np.random.Generator] = None,
-                       use_only_correct: bool = False) -> List[DCAMResult]:
-    """Compute dCAM for every series of a batch ``(instances, D, n)``."""
+                       use_only_correct: bool = False,
+                       batch_size: int = DEFAULT_BATCH_SIZE) -> List[DCAMResult]:
+    """Compute dCAM for every series of a batch ``(instances, D, n)``.
+
+    The instances' permuted cubes share one micro-batched pipeline, so forward
+    passes are never padded down to a single instance's leftover permutations
+    and the model is driven at full batch width throughout.  Instances are
+    processed in groups sized so that the materialised permuted-series and CAM
+    arrays stay within a soft memory cap.
+    """
     X = np.asarray(X, dtype=np.float64)
     if len(X) != len(class_ids):
         raise ValueError("X and class_ids must have the same length")
+    if X.ndim != 3:
+        raise ValueError(f"X must be (instances, D, n), got shape {X.shape}")
+    _require_d_architecture(model)
     rng = rng or np.random.default_rng()
-    return [
-        compute_dcam(model, X[index], int(class_ids[index]), k=k, rng=rng,
-                     use_only_correct=use_only_correct)
-        for index in range(len(X))
+    n_instances, n_dimensions, length = X.shape
+    model.eval()
+
+    # Draw each instance's permutations in sequence (matching the legacy
+    # one-instance-at-a-time behaviour for a given generator state).
+    per_instance_orders = [
+        _stack_orders(random_permutations(n_dimensions, k, rng), n_dimensions)
+        for _ in range(n_instances)
     ]
+    class_ids = [int(c) for c in class_ids]
+
+    # Permuted series + CAM stacks cost ~2 * k * D * n * 8 bytes per instance.
+    bytes_per_instance = 2 * k * n_dimensions * length * 8
+    group = max(1, _BATCH_MATERIALIZE_BYTES // max(1, bytes_per_instance))
+
+    results: List[DCAMResult] = []
+    for first in range(0, n_instances, group):
+        last = min(first + group, n_instances)
+        orders_flat = np.concatenate(per_instance_orders[first:last], axis=0)
+        instance_flat = np.repeat(np.arange(first, last), k)
+        permuted_flat = X[instance_flat[:, None], orders_flat]  # (G*k, D, n)
+        weights_flat = model.class_weights[np.repeat(class_ids[first:last], k)]
+        cams_flat, predicted_flat = _permutation_cams_batched(
+            model, permuted_flat, weights_flat, batch_size
+        )
+        for offset, index in enumerate(range(first, last)):
+            start, stop = offset * k, (offset + 1) * k
+            results.append(
+                _assemble_result(cams_flat[start:stop], per_instance_orders[index],
+                                 predicted_flat[start:stop], class_ids[index],
+                                 use_only_correct)
+            )
+    return results
 
 
 def explanation_quality_proxy(result: DCAMResult) -> float:

@@ -55,18 +55,18 @@ def build_cube(series: np.ndarray, order: Optional[Sequence[int]] = None) -> np.
         order = np.asarray(order)
         if sorted(order.tolist()) != list(range(n_dimensions)):
             raise ValueError("order must be a permutation of range(D)")
-        series = series[order]
-    rows = [series[rotation_order(n_dimensions, shift)] for shift in range(n_dimensions)]
-    return np.stack(rows)
+    return build_cube_batch(series[None], order)[0]
 
 
 def build_cube_batch(batch: np.ndarray, order: Optional[Sequence[int]] = None) -> np.ndarray:
     """Vectorised :func:`build_cube` for a batch of shape ``(B, D, n)``.
 
-    Returns an array of shape ``(B, D_rows, D_channels, n)`` laid out so that
-    axis 1 indexes the cube rows and axis 2 the position within the row.  The
-    convolutional models expect channels on axis 1, so they transpose axes
-    1 and 2 internally (see :class:`repro.models.cnn.DCNNClassifier`).
+    Returns an array of shape ``(B, D_rows, D_positions, n)`` in which axis 1
+    indexes the cube rows and axis 2 the position within the row.  Because the
+    rotation matrix ``(row + position) mod D`` is symmetric, the cube is
+    invariant under swapping those two axes, so the convolutional models can
+    consume it directly as a channels-first ``(B, D, D, n)`` image (see
+    :class:`repro.models.conv_common.CubeInputMixin`).
     """
     batch = np.asarray(batch)
     if batch.ndim != 3:
@@ -75,8 +75,11 @@ def build_cube_batch(batch: np.ndarray, order: Optional[Sequence[int]] = None) -
     if order is not None:
         order = np.asarray(order)
         batch = batch[:, order, :]
-    rows = [batch[:, rotation_order(n_dimensions, shift), :] for shift in range(n_dimensions)]
-    return np.stack(rows, axis=1)
+    # shifts[row, position] = (row + position) mod D; one gather builds every
+    # rotation at once.  Note the matrix is symmetric, so the cube equals its
+    # own (row, position) transpose.
+    shifts = (np.arange(n_dimensions)[:, None] + np.arange(n_dimensions)[None, :]) % n_dimensions
+    return batch[:, shifts, :]
 
 
 def row_for_slot(slot: int, position: int, n_dimensions: int) -> int:

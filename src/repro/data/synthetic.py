@@ -21,7 +21,7 @@ These reproduce the dataset construction of Section 5.1.1:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -9,19 +9,18 @@ architecture family, averaged over several runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.cam import cam_as_multivariate, class_activation_map
-from ..core.dcam import compute_dcam
+from ..core.dcam import DEFAULT_BATCH_SIZE, compute_dcam
 from ..core.gradcam import mtex_explanation
 from ..data.datasets import MultivariateDataset
 from ..data.splits import train_validation_split
 from ..models.base import BaseClassifier, TrainingConfig
 from ..models.registry import create_model
 from .dr_acc import dr_acc
-from .metrics import classification_accuracy
 
 
 @dataclass
@@ -73,16 +72,20 @@ def evaluate_classification(model_name: str, dataset: MultivariateDataset,
 
 def explanation_for(model: BaseClassifier, model_name: str, series: np.ndarray,
                     class_id: int, k: int = 20,
-                    rng: Optional[np.random.Generator] = None) -> Tuple[np.ndarray, Optional[float]]:
+                    rng: Optional[np.random.Generator] = None,
+                    batch_size: int = DEFAULT_BATCH_SIZE) -> Tuple[np.ndarray, Optional[float]]:
     """Dispatch to the explanation method matching the architecture family.
 
     Returns the ``(D, n)`` explanation heatmap and, for the d-architectures,
-    the ``n_g / k`` success ratio (None otherwise).
+    the ``n_g / k`` success ratio (None otherwise).  ``batch_size`` is the
+    dCAM micro-batch knob (permuted cubes per forward pass); it trades speed
+    against peak memory, affecting results only at float round-off level.
     """
     n_dimensions = series.shape[0]
     name = model_name.lower()
     if name.startswith("d"):
-        result = compute_dcam(model, series, class_id, k=k, rng=rng)
+        result = compute_dcam(model, series, class_id, k=k, rng=rng,
+                              batch_size=batch_size)
         return result.dcam, result.success_ratio
     if name == "mtex":
         return mtex_explanation(model, series, class_id), None
@@ -95,7 +98,8 @@ def explanation_for(model: BaseClassifier, model_name: str, series: np.ndarray,
 def evaluate_explanation(model: BaseClassifier, model_name: str,
                          test: MultivariateDataset, target_class: int = 1,
                          n_instances: int = 10, k: int = 20,
-                         random_state: Optional[int] = None) -> Tuple[float, Optional[float]]:
+                         random_state: Optional[int] = None,
+                         batch_size: int = DEFAULT_BATCH_SIZE) -> Tuple[float, Optional[float]]:
     """Average Dr-acc of a trained model over instances of ``target_class``.
 
     Only instances whose ground-truth mask is non-empty are considered (the
@@ -114,7 +118,8 @@ def evaluate_explanation(model: BaseClassifier, model_name: str,
     scores, ratios = [], []
     for index in chosen:
         heatmap, ratio = explanation_for(model, model_name, test.X[index],
-                                         int(test.y[index]), k=k, rng=rng)
+                                         int(test.y[index]), k=k, rng=rng,
+                                         batch_size=batch_size)
         scores.append(dr_acc(heatmap, test.ground_truth[index]))
         if ratio is not None:
             ratios.append(ratio)

@@ -69,7 +69,8 @@ def run_extraction_ablation(scale: Optional[ExperimentScale] = None,
         rng = np.random.default_rng(config_seed)
         for index in indices:
             dcam_result = compute_dcam(model, test.X[index], int(test.y[index]),
-                                       k=scale.k_permutations, rng=rng)
+                                       k=scale.k_permutations, rng=rng,
+                                       batch_size=scale.dcam_batch_size)
             for variant in EXTRACTION_VARIANTS:
                 heatmap = extract_variant(dcam_result.m_bar, variant)
                 scores[variant].append(dr_acc(heatmap, test.ground_truth[index]))
@@ -104,11 +105,13 @@ def run_ng_filter_ablation(scale: Optional[ExperimentScale] = None,
             rng = np.random.default_rng(config_seed)
             result_all = compute_dcam(model, test.X[index], int(test.y[index]),
                                       k=scale.k_permutations, rng=rng,
-                                      use_only_correct=False)
+                                      use_only_correct=False,
+                                      batch_size=scale.dcam_batch_size)
             rng = np.random.default_rng(config_seed)
             result_correct = compute_dcam(model, test.X[index], int(test.y[index]),
                                           k=scale.k_permutations, rng=rng,
-                                          use_only_correct=True)
+                                          use_only_correct=True,
+                                          batch_size=scale.dcam_batch_size)
             all_scores.append(dr_acc(result_all.dcam, test.ground_truth[index]))
             correct_scores.append(dr_acc(result_correct.dcam, test.ground_truth[index]))
             ratios.append(result_all.success_ratio)

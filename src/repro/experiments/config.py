@@ -11,8 +11,9 @@ comparative shapes the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from ..core.dcam import DEFAULT_BATCH_SIZE
 from ..data.synthetic import SyntheticConfig
 from ..data.uea import UEASimulationConfig
 from ..models.base import TrainingConfig
@@ -27,6 +28,10 @@ class ExperimentScale:
     n_runs: int = 1
     #: Number of random permutations for dCAM (the paper uses 100).
     k_permutations: int = 20
+    #: Permuted cubes per forward pass in the batched dCAM pipeline.  A
+    #: speed / peak-memory trade-off; results agree across values to float
+    #: round-off (≤ 1e-10).
+    dcam_batch_size: int = DEFAULT_BATCH_SIZE
     #: Number of test instances explained when measuring Dr-acc (paper: 50).
     n_explained_instances: int = 5
     #: Dimension counts swept in Table 3 / Figure 9 (paper: 10..100).

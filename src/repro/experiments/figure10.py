@@ -85,7 +85,8 @@ def run_figure10(scale: Optional[ExperimentScale] = None,
                     rng = np.random.default_rng(config_seed)
                     scores = [
                         dr_acc(compute_dcam(model, test.X[index], int(test.y[index]),
-                                            k=k, rng=rng).dcam,
+                                            k=k, rng=rng,
+                                            batch_size=scale.dcam_batch_size).dcam,
                                test.ground_truth[index])
                         for index in explain_indices
                     ]

@@ -123,7 +123,8 @@ def run_figure12(scale: Optional[ExperimentScale] = None,
         model = create_model(dcam_model, dims, base_length, 2, rng=rng,
                              **scale.model_kwargs(dcam_model))
         start = time.perf_counter()
-        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng)
+        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng,
+                     batch_size=scale.dcam_batch_size)
         result.dcam_time_vs_dimensions.setdefault(dcam_model, []).append(
             time.perf_counter() - start)
     for length in lengths:
@@ -131,7 +132,8 @@ def run_figure12(scale: Optional[ExperimentScale] = None,
         model = create_model(dcam_model, base_dims, length, 2, rng=rng,
                              **scale.model_kwargs(dcam_model))
         start = time.perf_counter()
-        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng)
+        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng,
+                     batch_size=scale.dcam_batch_size)
         result.dcam_time_vs_length.setdefault(dcam_model, []).append(
             time.perf_counter() - start)
     series = rng.standard_normal((base_dims, base_length))
@@ -139,7 +141,8 @@ def run_figure12(scale: Optional[ExperimentScale] = None,
                          **scale.model_kwargs(dcam_model))
     for k in result.k_values:
         start = time.perf_counter()
-        compute_dcam(model, series, 0, k=k, rng=rng)
+        compute_dcam(model, series, 0, k=k, rng=rng,
+                     batch_size=scale.dcam_batch_size)
         result.dcam_time_vs_k.setdefault(dcam_model, []).append(time.perf_counter() - start)
 
     # Panel (c): convergence (epochs / seconds to 90% of best loss).

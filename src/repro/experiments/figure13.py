@@ -15,7 +15,7 @@ in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +28,6 @@ from ..core.aggregate import (
 from ..core.dcam import DCAMResult, compute_dcam
 from ..data.jigsaws import JigsawsConfig, make_jigsaws_dataset
 from ..data.splits import train_validation_split
-from ..models.base import TrainingConfig
 from ..models.registry import create_model
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
@@ -122,7 +121,8 @@ def run_figure13(scale: Optional[ExperimentScale] = None,
     novice_segments = []
     for index in novice_indices:
         dcam_results.append(compute_dcam(model, dataset.X[index], novice_class,
-                                         k=scale.k_permutations, rng=rng))
+                                         k=scale.k_permutations, rng=rng,
+                                         batch_size=scale.dcam_batch_size))
         novice_segments.append(segments[index])
 
     result.max_activation = max_activation_per_dimension(dcam_results)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,7 +49,8 @@ def explanation_accuracy_of(model: BaseClassifier, model_name: str,
     for index in indices:
         heatmap, ratio = explanation_for(model, model_name, test.X[index],
                                          int(test.y[index]),
-                                         k=scale.k_permutations, rng=rng)
+                                         k=scale.k_permutations, rng=rng,
+                                         batch_size=scale.dcam_batch_size)
         scores.append(dr_acc(heatmap, test.ground_truth[index]))
         if ratio is not None:
             ratios.append(ratio)

@@ -11,9 +11,8 @@ architecture's explanation method (CAM, cCAM, dCAM or MTEX-grad).  The
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..eval.ranking import average_ranks
 from .config import ExperimentScale, get_scale

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..nn import Adam, Module, Tensor, cross_entropy
+from ..nn import Adam, Module, Tensor, cross_entropy, inference_mode
 from ..nn.optim import clip_grad_norm
 
 
@@ -130,9 +130,10 @@ class BaseClassifier(Module):
         """Class logits for a raw batch of series, computed in eval mode."""
         self.eval()
         outputs = []
-        for start in range(0, len(X), batch_size):
-            batch = X[start: start + batch_size]
-            outputs.append(self.forward(self.prepare_input(batch)).data)
+        with inference_mode():
+            for start in range(0, len(X), batch_size):
+                batch = X[start: start + batch_size]
+                outputs.append(self.forward(self.prepare_input(batch)).data)
         return np.concatenate(outputs, axis=0)
 
     def predict_proba(self, X: np.ndarray, batch_size: int = 32) -> np.ndarray:
@@ -155,14 +156,15 @@ class BaseClassifier(Module):
     def _evaluate_loss(self, X: np.ndarray, y: np.ndarray, batch_size: int) -> Tuple[float, float]:
         self.eval()
         losses, correct, total = [], 0, 0
-        for start in range(0, len(X), batch_size):
-            batch_X = X[start: start + batch_size]
-            batch_y = y[start: start + batch_size]
-            logits = self.forward(self.prepare_input(batch_X))
-            loss = cross_entropy(logits, batch_y)
-            losses.append(loss.item() * len(batch_X))
-            correct += int((logits.data.argmax(axis=1) == batch_y).sum())
-            total += len(batch_X)
+        with inference_mode():
+            for start in range(0, len(X), batch_size):
+                batch_X = X[start: start + batch_size]
+                batch_y = y[start: start + batch_size]
+                logits = self.forward(self.prepare_input(batch_X))
+                loss = cross_entropy(logits, batch_y)
+                losses.append(loss.item() * len(batch_X))
+                correct += int((logits.data.argmax(axis=1) == batch_y).sum())
+                total += len(batch_X)
         return float(np.sum(losses) / total), correct / total
 
     def fit(self, X: np.ndarray, y: np.ndarray,

@@ -17,7 +17,6 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn import BatchNorm, Conv1d, Conv2d, ReLU, Sequential
-from .base import BaseClassifier
 from .conv_common import ChannelInputMixin, ConvBackboneClassifier, CubeInputMixin
 
 #: Filter counts used in the paper's experiments.

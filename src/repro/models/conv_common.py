@@ -79,9 +79,11 @@ class ChannelInputMixin:
 class CubeInputMixin:
     """Input preparation of the d-architectures: the ``C(T)`` cube.
 
-    The cube ``(batch, rows, positions, n)`` is transposed so that the
-    positions-within-a-row axis becomes the channel axis expected by
-    :class:`repro.nn.Conv2d`, giving ``(batch, D, D_rows, n)``.
+    :class:`repro.nn.Conv2d` expects the position-within-a-row axis as the
+    channel axis, i.e. the ``(batch, rows, positions, n)`` cube with axes 1
+    and 2 swapped.  Because the rotation matrix ``(row + position) mod D`` is
+    symmetric, the cube equals its own (rows, positions) transpose, so it is
+    consumed directly without a transpose or copy.
     """
 
     input_kind = "cube"
@@ -91,4 +93,7 @@ class CubeInputMixin:
         if X.ndim != 3:
             raise ValueError("expected a batch of shape (batch, D, n)")
         cube = build_cube_batch(X, order)
-        return Tensor(np.ascontiguousarray(np.swapaxes(cube, 1, 2)))
+        # The rotation matrix (row + position) mod D is symmetric, so the cube
+        # is invariant under the (rows, positions) transpose — it is already
+        # in the channels-first layout, no copy needed.
+        return Tensor(cube)

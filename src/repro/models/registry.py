@@ -11,7 +11,7 @@ Names follow the paper's terminology:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -32,7 +32,17 @@ from .loss import CrossEntropyLoss, cross_entropy, mse_loss, nll_loss
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .recurrent import GRUCell, LSTMCell, RecurrentLayer, RNNCell
 from .serialization import load_state_dict, save_state_dict
-from .tensor import Tensor, ones, randn, tensor, zeros
+from .tensor import (
+    Tensor,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    randn,
+    set_grad_enabled,
+    tensor,
+    zeros,
+)
 
 __all__ = [
     "functional",
@@ -41,6 +51,10 @@ __all__ = [
     "zeros",
     "ones",
     "randn",
+    "inference_mode",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
     "Module",
     "Parameter",
     "Linear",

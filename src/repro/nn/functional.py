@@ -11,12 +11,45 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 
 # ---------------------------------------------------------------------------
 # im2col / col2im helpers (2D)
 # ---------------------------------------------------------------------------
+def _conv_windows(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Zero-pad ``x`` and expose its sliding conv patches as a strided view.
+
+    Returns ``windows`` of shape ``(batch, channels, out_h, out_w, kh, kw)``
+    (no data copied) and the spatial output shape ``(out_h, out_w)``.
+    """
+    batch, channels, height, width = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        # Faster than np.pad, which carries significant per-call overhead.
+        padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw), dtype=x.dtype)
+        padded[:, :, ph: ph + height, pw: pw + width] = x
+        x = padded
+    padded_h, padded_w = x.shape[2], x.shape[3]
+    out_h = (padded_h - kh) // sh + 1
+    out_w = (padded_w - kw) // sw + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+        writeable=False,
+    )
+    return windows, (out_h, out_w)
+
+
 def _im2col(
     x: np.ndarray,
     kernel: Tuple[int, int],
@@ -39,22 +72,9 @@ def _im2col(
     out_shape:
         The spatial output shape ``(out_h, out_w)``.
     """
-    batch, channels, height, width = x.shape
+    batch, channels = x.shape[0], x.shape[1]
     kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    padded_h, padded_w = x.shape[2], x.shape[3]
-    out_h = (padded_h - kh) // sh + 1
-    out_w = (padded_w - kw) // sw + 1
-    s0, s1, s2, s3 = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(batch, channels, out_h, out_w, kh, kw),
-        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
-        writeable=False,
-    )
+    windows, (out_h, out_w) = _conv_windows(x, kernel, stride, padding)
     # (batch, out_h, out_w, channels, kh, kw) -> columns
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
         batch, out_h, out_w, channels * kh * kw
@@ -95,6 +115,23 @@ def _col2im(
 # ---------------------------------------------------------------------------
 # Convolutions
 # ---------------------------------------------------------------------------
+
+#: Contraction plans for the inference conv einsum, keyed by operand shapes
+#: (path planning costs ~5-10% of a small forward pass if repeated every call).
+_conv_einsum_paths: dict = {}
+
+
+def _conv_einsum_path(windows: np.ndarray, weight: np.ndarray):
+    key = (windows.shape, weight.shape)
+    path = _conv_einsum_paths.get(key)
+    if path is None:
+        if len(_conv_einsum_paths) > 256:
+            _conv_einsum_paths.clear()
+        path = np.einsum_path("bcxyij,ocij->boxy", windows, weight, optimize=True)[0]
+        _conv_einsum_paths[key] = path
+    return path
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -119,9 +156,24 @@ def conv2d(
         raise ValueError(
             f"input has {x.shape[1]} channels but weight expects {in_channels}"
         )
+    needs_grad = is_grad_enabled() and (
+        x.requires_grad or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not needs_grad:
+        # Allocation-light inference path: contract the strided patch view
+        # directly (no im2col materialisation, no backward closure), landing
+        # the output contiguous in NCHW.
+        windows, _ = _conv_windows(x.data, (kh, kw), stride, padding)
+        out = np.einsum("bcxyij,ocij->boxy", windows, weight.data,
+                        optimize=_conv_einsum_path(windows, weight.data))
+        if bias is not None:
+            out += bias.data.reshape(1, out_channels, 1, 1)
+        return Tensor(out, name="conv2d")
+
     cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding)
-    cols_2d = cols.reshape(-1, in_channels * kh * kw)
     weight_2d = weight.data.reshape(out_channels, -1)
+    cols_2d = cols.reshape(-1, in_channels * kh * kw)
     out = cols_2d @ weight_2d.T
     out = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
     if bias is not None:
@@ -142,6 +194,30 @@ def conv2d(
         return (grad_input, grad_weight, grad_bias)
 
     return Tensor._make(out, parents, backward, name="conv2d")
+
+
+def fused_conv_bn_relu(x_data: np.ndarray, conv, bn) -> np.ndarray:
+    """Inference-only fusion of ``Conv2d -> BatchNorm(eval) -> ReLU``.
+
+    Folds the normalisation's per-channel scale into the conv kernels and its
+    shift into one bias, then applies ReLU in place — one contraction and two
+    cheap passes instead of five full-size passes and three graph nodes.
+    Numerically equivalent to the unfused layers up to a few ulps of
+    floating-point reassociation.
+    """
+    kh, kw = conv.kernel_size
+    out_channels = conv.out_channels
+    scale = bn.weight.data / (bn.running_var + bn.eps) ** 0.5
+    shift = bn.bias.data - bn.running_mean * scale
+    if conv.bias is not None:
+        shift = shift + conv.bias.data * scale
+    weight = conv.weight.data * scale[:, None, None, None]
+    windows, _ = _conv_windows(x_data, (kh, kw), conv.stride, conv.padding)
+    out = np.einsum("bcxyij,ocij->boxy", windows, weight,
+                    optimize=_conv_einsum_path(windows, weight))
+    out += shift.reshape(1, out_channels, 1, 1)
+    np.maximum(out, 0.0, out=out)
+    return out
 
 
 def conv1d(
@@ -177,6 +253,9 @@ def max_pool2d(x: Tensor, kernel: Tuple[int, int], stride: Optional[Tuple[int, i
         writeable=False,
     )
     out = windows.max(axis=(4, 5))
+    if not (is_grad_enabled() and x.requires_grad):
+        # Inference path: the argmax bookkeeping below exists only for backward.
+        return Tensor(out, name="max_pool2d")
     # indices of maxima for backward
     flat = windows.reshape(batch, channels, out_h, out_w, kh * kw)
     argmax = flat.argmax(axis=-1)

@@ -7,13 +7,13 @@ in :mod:`repro.models` reads like the architectures described in the paper.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from . import functional as F
 from . import init
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 
 class Parameter(Tensor):
@@ -242,6 +242,16 @@ class BatchNorm(Module):
             )
         shape = self._shape_for(x)
         axes = self._stat_axes(x)
+        if not self.training and not is_grad_enabled():
+            # Inference fast path: fold the normalisation into one scale and
+            # one shift per channel (two passes over the activation instead of
+            # four).  Equivalent to the Tensor expression below up to a few
+            # ulps of floating-point reassociation.
+            scale = self.weight.data / (self.running_var + self.eps) ** 0.5
+            shift = self.bias.data - self.running_mean * scale
+            out = x.data * scale.reshape(shape)
+            out += shift.reshape(shape)
+            return Tensor(out, name="batch_norm")
         if self.training:
             batch_mean = x.data.mean(axis=axes)
             batch_var = x.data.var(axis=axes)
@@ -357,6 +367,25 @@ class Sequential(Module):
         return len(self.children_list)
 
     def forward(self, x: Tensor) -> Tensor:
-        for module in self.children_list:
+        modules = self.children_list
+        if not is_grad_enabled():
+            # Inference fast path: collapse Conv2d -> BatchNorm(eval) -> ReLU
+            # triplets into one fused kernel; anything else runs as usual.
+            index, count = 0, len(modules)
+            while index < count:
+                module = modules[index]
+                if (index + 2 < count
+                        and type(module) is Conv2d
+                        and isinstance(modules[index + 1], BatchNorm)
+                        and not modules[index + 1].training
+                        and type(modules[index + 2]) is ReLU):
+                    x = Tensor(F.fused_conv_bn_relu(x.data, module, modules[index + 1]),
+                               name="conv_bn_relu")
+                    index += 3
+                    continue
+                x = module(x)
+                index += 1
+            return x
+        for module in modules:
             x = module(x)
         return x

@@ -4,6 +4,10 @@ The paper's experimental setup (Section 5.2) uses a single recurrent hidden
 layer of 128 neurons followed by a dense layer.  These cells iterate over the
 time axis of a ``(batch, dimensions, length)`` multivariate series, consuming
 one time step (a ``(batch, dimensions)`` slice) at a time.
+
+Under :func:`repro.nn.inference_mode` the per-step tensors record no parents,
+so the unrolled graph — normally ``O(length)`` retained activations — is never
+materialised and each step's intermediates are freed immediately.
 """
 
 from __future__ import annotations

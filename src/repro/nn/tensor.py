@@ -20,11 +20,84 @@ array([2., 4., 6.])
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+import threading
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
+
+# ---------------------------------------------------------------------------
+# Global gradient-recording mode
+# ---------------------------------------------------------------------------
+class _GradState(threading.local):
+    """Per-thread switch consulted by :meth:`Tensor._make` (and by the fused
+    fast paths in :mod:`repro.nn.functional` / :mod:`repro.nn.layers`).
+
+    When ``enabled`` is False, newly created tensors never record parents or
+    backward closures, so forward passes build no autograd graph at all.
+    Thread-local so that ``inference_mode`` in one thread cannot silently
+    disable gradient recording in a concurrently training thread.
+    """
+
+    def __init__(self) -> None:
+        self.enabled: bool = True
+
+
+_grad_state = _GradState()
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record an autograd graph."""
+    return _grad_state.enabled
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Set this thread's grad-recording mode; returns the previous mode."""
+    previous = _grad_state.enabled
+    _grad_state.enabled = bool(mode)
+    return previous
+
+
+class _GradMode:
+    """Re-entrant context manager toggling the global grad-recording mode.
+
+    A stack of saved modes makes reusing (even nesting) one instance safe.
+    """
+
+    __slots__ = ("_mode", "_previous")
+
+    def __init__(self, mode: bool) -> None:
+        self._mode = bool(mode)
+        self._previous: list = []
+
+    def __enter__(self) -> "_GradMode":
+        self._previous.append(set_grad_enabled(self._mode))
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        # Restore unconditionally so an exception inside the block cannot
+        # leave the process stuck in no-grad mode.
+        set_grad_enabled(self._previous.pop())
+        return False
+
+
+def inference_mode() -> _GradMode:
+    """Context manager disabling autograd recording for its dynamic extent.
+
+    Inside the block every operation takes the allocation-light path: no
+    parent edges, no backward closures, and the im2col buffers of the
+    convolutions are released as soon as the forward value is computed.
+    Use it for prediction and for CAM/dCAM extraction, which only need
+    activations — never for training, and never around the forward pass of a
+    Grad-CAM baseline (those need the recorded graph).
+    """
+    return _GradMode(False)
+
+
+def no_grad() -> _GradMode:
+    """Alias of :func:`inference_mode`, mirroring ``torch.no_grad``."""
+    return _GradMode(False)
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -205,8 +278,7 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
         name: str = "",
     ) -> "Tensor":
-        requires_grad = any(p.requires_grad for p in parents)
-        if not requires_grad:
+        if not _grad_state.enabled or not any(p.requires_grad for p in parents):
             return Tensor(data, requires_grad=False, name=name)
         return Tensor(
             data,
@@ -360,6 +432,8 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward, name="sqrt")
 
     def relu(self) -> "Tensor":
+        if not _grad_state.enabled:
+            return Tensor(np.maximum(self.data, 0.0), name="relu")
         mask = self.data > 0
         out_data = self.data * mask
 

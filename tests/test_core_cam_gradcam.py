@@ -12,7 +12,6 @@ from repro.core import (
     predicted_class,
 )
 from repro.models import GRUClassifier
-from repro.nn import Tensor
 
 
 class TestCAM:

@@ -4,27 +4,17 @@ import numpy as np
 import pytest
 
 from repro.models import (
-    BaseClassifier,
     CCNNClassifier,
-    CInceptionTimeClassifier,
     CNNClassifier,
-    CResNetClassifier,
     DCNNClassifier,
-    DInceptionTimeClassifier,
     DResNetClassifier,
-    GRUClassifier,
     InceptionTimeClassifier,
-    LSTMClassifier,
-    MTEXCNNClassifier,
     PAPER_CNN_FILTERS,
     ResNetClassifier,
-    RNNClassifier,
-    TrainingConfig,
     available_models,
     create_model,
 )
 from repro.models.registry import BASELINE_MODELS, C_BASELINE_MODELS, D_MODELS
-from repro.nn import Tensor
 
 N_DIMS, LENGTH, N_CLASSES = 4, 24, 3
 RNG = np.random.default_rng(0)

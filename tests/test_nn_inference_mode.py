@@ -1,0 +1,124 @@
+"""Tests of the graph-free inference mode (repro.nn.tensor grad switch)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2d,
+    Tensor,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+from repro.nn.functional import conv2d, max_pool2d
+
+
+class TestGradModeSwitch:
+    def test_enabled_by_default(self):
+        assert is_grad_enabled()
+
+    def test_set_grad_enabled_returns_previous(self):
+        assert set_grad_enabled(False) is True
+        assert set_grad_enabled(True) is False
+        assert is_grad_enabled()
+
+    def test_context_disables_and_restores(self):
+        with inference_mode():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with inference_mode():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_contexts(self):
+        with inference_mode():
+            with inference_mode():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_single_instance_reused_nested(self):
+        mode = inference_mode()
+        with mode:
+            with mode:
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_alias(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestGraphFreeOps:
+    def test_ops_record_no_parents(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        with inference_mode():
+            y = (x * x).sum()
+        assert not y.requires_grad
+        assert y._parents == ()
+        assert y._backward_fn is None
+
+    def test_values_match_grad_mode(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        expected = (x.relu() * 2.0 + x.tanh()).mean(axis=1)
+        with inference_mode():
+            observed = (x.relu() * 2.0 + x.tanh()).mean(axis=1)
+        np.testing.assert_allclose(observed.data, expected.data)
+        assert not observed.requires_grad
+
+    def test_backward_works_after_exit(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with inference_mode():
+            (x * x).sum()
+        y = (x * x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2.0, 4.0])
+
+    def test_conv2d_inference_matches_grad_path(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 3, 4, 10)))
+        layer = Conv2d(3, 5, (1, 3), padding=(0, 1), rng=rng)
+        expected = layer(x)
+        with inference_mode():
+            observed = layer(x)
+        np.testing.assert_allclose(observed.data, expected.data, atol=1e-12)
+        assert observed._parents == ()
+
+    def test_conv2d_grad_path_unaffected(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((1, 2, 3, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 2, 1, 3)), requires_grad=True)
+        out = conv2d(x, w, padding=(0, 1))
+        out.sum().backward()
+        assert x.grad is not None and w.grad is not None
+
+    def test_max_pool_inference_matches_grad_path(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.standard_normal((2, 3, 4, 8)), requires_grad=True)
+        expected = max_pool2d(x, (1, 2))
+        with inference_mode():
+            observed = max_pool2d(x, (1, 2))
+        np.testing.assert_allclose(observed.data, expected.data)
+        assert observed._parents == ()
+
+    def test_batchnorm_eval_inference_matches_grad_path(self):
+        rng = np.random.default_rng(4)
+        layer = BatchNorm(3)
+        layer.running_mean = rng.standard_normal(3)
+        layer.running_var = rng.random(3) + 0.5
+        layer.weight.data[...] = rng.standard_normal(3)
+        layer.bias.data[...] = rng.standard_normal(3)
+        layer.eval()
+        x = Tensor(rng.standard_normal((4, 3, 6)))
+        expected = layer(x)
+        with inference_mode():
+            observed = layer(x)
+        np.testing.assert_allclose(observed.data, expected.data, atol=1e-12)

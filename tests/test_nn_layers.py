@@ -16,7 +16,6 @@ from repro.nn import (
     MaxPool1d,
     MaxPool2d,
     Module,
-    Parameter,
     ReLU,
     Sequential,
     Sigmoid,
