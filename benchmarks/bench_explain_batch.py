@@ -1,0 +1,180 @@
+"""Throughput benchmark: per-instance vs batched explanation, all families.
+
+For each explanation family (CAM on a cCNN, grad-CAM on MTEX-CNN, dCAM on a
+dCNN) a tiny model is trained, then a handful of test instances is explained
+twice through the registry:
+
+* **per-instance** — one ``Explainer.explain`` call per instance (one
+  ``features()`` forward — and for grad-CAM one backward — per instance);
+* **batched** — one ``Explainer.explain_batch`` call (micro-batched forwards;
+  the dCAM engine also merges permutation work across instance boundaries).
+
+Verifies that both paths agree to 1e-10 (exits non-zero otherwise) and emits
+a JSON record to ``benchmarks/results/explain_batch.json`` so the speedups
+are tracked across the bench trajectory.
+
+Run directly (no install needed)::
+
+    python benchmarks/bench_explain_batch.py [--scale tiny] [--instances 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import sys
+import time
+
+# Allow running straight from a checkout without installing the package.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.data.synthetic import make_type1_dataset  # noqa: E402
+from repro.experiments.config import get_scale  # noqa: E402
+from repro.explain import get_explainer  # noqa: E402
+from repro.models.registry import create_model  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: (family, model name) pairs exercised by the benchmark.
+FAMILIES = (("cam", "ccnn"), ("gradcam", "mtex"), ("dcam", "dcnn"))
+
+
+def best_of(fn, repeats):
+    """Best-of-N wall-clock with the cyclic GC paused (its collection pauses
+    are the dominant noise source for millisecond-scale measurements)."""
+    best = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        gc.enable()
+    return best
+
+
+def bench_family(family, model_name, dataset, scale, args):
+    """Train one tiny model and time per-instance vs batched explanation."""
+    model = create_model(model_name, dataset.n_dimensions, dataset.length,
+                         dataset.n_classes, rng=np.random.default_rng(0),
+                         **scale.model_kwargs(model_name))
+    assert model.explainer_family == family
+    print(f"[{family}] training tiny {model_name} on "
+          f"{dataset.n_dimensions}x{dataset.length} synthetic data ...")
+    training = scale.training.__class__(epochs=5, batch_size=8, learning_rate=3e-3,
+                                        random_state=0)
+    model.fit(dataset.X, dataset.y, config=training)
+    model.eval()
+
+    n = min(args.instances, len(dataset))
+    X = dataset.X[:n]
+    class_ids = [int(label) for label in dataset.y[:n]]
+
+    def explainer():
+        # Fresh generator per measurement so the dCAM permutation draw is
+        # identical across the per-instance / batched paths and repetitions.
+        return get_explainer(model, k=args.k, batch_size=args.batch_size,
+                             rng=np.random.default_rng(0))
+
+    def run_per_instance():
+        one = explainer()
+        return [one.explain(series, class_id)
+                for series, class_id in zip(X, class_ids)]
+
+    def run_batched():
+        return explainer().explain_batch(X, class_ids)
+
+    # Correctness first: both paths must agree to 1e-10.
+    max_abs_diff = 0.0
+    for single, batched in zip(run_per_instance(), run_batched()):
+        max_abs_diff = max(max_abs_diff,
+                           float(np.abs(single.heatmap - batched.heatmap).max()))
+        if single.success_ratio != batched.success_ratio:
+            raise SystemExit(f"FAIL [{family}]: success_ratio mismatch "
+                             f"({single.success_ratio} != {batched.success_ratio})")
+    if max_abs_diff > 1e-10:
+        raise SystemExit(f"FAIL [{family}]: batched explanation deviates from "
+                         f"per-instance path by {max_abs_diff:.2e} > 1e-10")
+
+    per_instance_seconds = best_of(run_per_instance, args.repeats)
+    batched_seconds = best_of(run_batched, args.repeats)
+    speedup = per_instance_seconds / batched_seconds
+    print(f"[{family}] per-instance {n / per_instance_seconds:8.2f} expl/s   "
+          f"batched {n / batched_seconds:8.2f} expl/s   speedup {speedup:.2f}x "
+          f"(max |diff| {max_abs_diff:.2e})")
+    return {
+        "model": model_name,
+        "n_explanations": n,
+        "per_instance_seconds": per_instance_seconds,
+        "batched_seconds": batched_seconds,
+        "per_instance_explanations_per_second": n / per_instance_seconds,
+        "batched_explanations_per_second": n / batched_seconds,
+        "speedup": speedup,
+        "max_abs_diff": max_abs_diff,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "small"],
+                        help="experiment scale of the trained models / dataset")
+    parser.add_argument("--instances", type=int, default=8,
+                        help="number of test instances explained per measurement")
+    parser.add_argument("--k", type=int, default=16,
+                        help="number of dCAM permutations per explanation")
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="micro-batch size of the batched engines")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measurement repetitions (best-of is reported)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit non-zero if any family's speedup falls below this")
+    parser.add_argument("--output", default=os.path.join(RESULTS_DIR, "explain_batch.json"),
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    scale = get_scale(args.scale, random_state=0)
+    dataset = make_type1_dataset(scale.synthetic)
+
+    record = {
+        "benchmark": "explain_batch",
+        "scale": args.scale,
+        "k": args.k,
+        "batch_size": args.batch_size,
+        "families": {},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    for family, model_name in FAMILIES:
+        record["families"][family] = bench_family(family, model_name, dataset,
+                                                  scale, args)
+
+    output_dir = os.path.dirname(args.output)
+    if output_dir:
+        os.makedirs(output_dir, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"[written to {args.output}]")
+
+    if args.min_speedup:
+        slow = {family: entry["speedup"] for family, entry in record["families"].items()
+                if entry["speedup"] < args.min_speedup}
+        if slow:
+            print(f"FAIL: speedups below required {args.min_speedup}x: {slow}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

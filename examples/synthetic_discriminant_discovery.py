@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import cam_as_multivariate, class_activation_map, compute_dcam, mtex_explanation
 from repro.data import SyntheticConfig, make_dataset
 from repro.eval import dr_acc, random_baseline_dr_acc
+from repro.explain import get_explainer
 from repro.models import TrainingConfig, create_model
 
 ARCHITECTURES = {
@@ -31,17 +31,10 @@ ARCHITECTURES = {
 TRAINING = TrainingConfig(epochs=35, batch_size=8, learning_rate=3e-3, random_state=0)
 
 
-def explanation_of(model, name, series, class_id):
-    """Dispatch to the explanation method of each architecture family."""
-    if name == "dcnn":
-        return compute_dcam(model, series, class_id, k=24,
-                            rng=np.random.default_rng(0)).dcam
-    if name == "mtex":
-        return mtex_explanation(model, series, class_id)
-    cam = class_activation_map(model, series, class_id)
-    if cam.ndim == 1:
-        cam = cam_as_multivariate(cam, series.shape[0])
-    return cam
+def explanation_of(model, series, class_id):
+    """One heatmap via the explainer registry — no per-family dispatch here."""
+    explainer = get_explainer(model, k=24, rng=np.random.default_rng(0))
+    return explainer.explain(series, class_id).heatmap
 
 
 def evaluate(dataset_type: int) -> None:
@@ -63,7 +56,7 @@ def evaluate(dataset_type: int) -> None:
                              rng=np.random.default_rng(0), **kwargs)
         model.fit(train.X, train.y, config=TRAINING)
         c_acc = model.score(test.X, test.y)
-        scores = [dr_acc(explanation_of(model, name, test.X[i], 1), test.ground_truth[i])
+        scores = [dr_acc(explanation_of(model, test.X[i], 1), test.ground_truth[i])
                   for i in explained]
         print(f"{label:24s} {c_acc:6.2f} {np.mean(scores):7.3f}")
 

@@ -13,6 +13,9 @@ The package is organised as follows:
   the Type 1 / Type 2 injected-pattern benchmarks.
 * :mod:`repro.eval` — C-acc, Dr-acc (PR-AUC), ranking and the evaluation
   protocols.
+* :mod:`repro.explain` — the unified explanation subsystem: CAM, grad-CAM and
+  dCAM behind one registry-driven :class:`~repro.explain.Explainer` interface
+  with batch engines.
 * :mod:`repro.experiments` — drivers that regenerate every table and figure of
   the paper's evaluation section.
 
@@ -30,7 +33,7 @@ Quickstart
 True
 """
 
-from . import core, data, eval, models, nn
+from . import core, data, eval, explain, models, nn
 from .core import (
     DCAMResult,
     build_cube,
@@ -49,6 +52,13 @@ from .data import (
     make_uea_dataset,
 )
 from .eval import classification_accuracy, dr_acc, pr_auc
+from .explain import (
+    Explanation,
+    ExplanationReport,
+    evaluate_explainer,
+    get_explainer,
+    registered_families,
+)
 from .models import TrainingConfig, available_models, create_model
 
 __version__ = "1.0.0"
@@ -59,7 +69,13 @@ __all__ = [
     "core",
     "data",
     "eval",
+    "explain",
     "__version__",
+    "Explanation",
+    "ExplanationReport",
+    "get_explainer",
+    "evaluate_explainer",
+    "registered_families",
     "build_cube",
     "class_activation_map",
     "compute_dcam",

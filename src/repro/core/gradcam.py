@@ -18,22 +18,61 @@ from ..nn import Tensor
 from ..nn import functional as F
 
 
-def _gradcam_from(features: Tensor, relu: bool = True) -> np.ndarray:
-    """Combine feature maps with their gradients into a grad-CAM heatmap.
+def gradcam_batch_from(features: Tensor, relu: bool = True) -> np.ndarray:
+    """Per-instance grad-CAM maps from batched features with gradients.
 
     ``features`` must have been part of a graph on which ``backward`` was
-    already called, so its ``grad`` attribute holds ``∂y_c / ∂A``.
+    already called, so its ``grad`` attribute holds ``∂y_c / ∂A`` — with one
+    leading batch axis.  Each instance's maps are combined independently, so
+    this is the batch generalisation of the classic grad-CAM weight/combine
+    step (used by :class:`repro.explain.GradCAMExplainer`'s batch engine).
     """
     if features.grad is None:
         raise RuntimeError("features have no gradient; call backward() on the class score first")
-    maps = features.data[0]          # (filters, ...) spatial maps
-    grads = features.grad[0]         # same shape
-    spatial_axes = tuple(range(1, maps.ndim))
-    weights = grads.mean(axis=spatial_axes)  # (filters,)
-    cam = np.tensordot(weights, maps, axes=(0, 0))
+    maps = features.data             # (batch, filters, ...) spatial maps
+    grads = features.grad            # same shape
+    spatial_axes = tuple(range(2, maps.ndim))
+    weights = grads.mean(axis=spatial_axes)  # (batch, filters)
+    cams = np.einsum("bf,bf...->b...", weights, maps)
     if relu:
-        cam = np.maximum(cam, 0.0)
-    return cam
+        cams = np.maximum(cams, 0.0)
+    return cams
+
+
+def _gradcam_from(features: Tensor, relu: bool = True) -> np.ndarray:
+    """One instance's grad-CAM heatmap (batch-size-1 graphs)."""
+    return gradcam_batch_from(features, relu=relu)[0]
+
+
+def mtex_forward(model: "MTEXCNNClassifier", prepared: Tensor
+                 ) -> Tuple[Tensor, Tensor, Tensor]:
+    """MTEX-CNN forward pass exposing both explainable feature blocks.
+
+    Returns ``(block1, block2, logits)`` — the per-dimension maps, the
+    temporal maps after the dimension merge, and the class logits.  Shared by
+    the per-instance grad-CAM below and the batched explain engine so the
+    explanation always follows the architecture's one forward definition.
+    """
+    block1 = model.block1_features(prepared)
+    merged = model.merge(block1).squeeze(axis=2)
+    block2 = model.block2(merged)
+    pooled = F.global_average_pool(block2)
+    logits = model.output(model.hidden(pooled).relu())
+    return block1, block2, logits
+
+
+def combine_mtex_maps(dimension_map: np.ndarray, temporal_map: np.ndarray) -> np.ndarray:
+    """Modulate the block-1 dimension map by the normalised temporal map.
+
+    The temporal map is max-normalised (or all-ones when identically zero) so
+    that both the "which dimension" and "which time window" answers
+    contribute to the combined ``(D, n)`` explanation.
+    """
+    if temporal_map.max() > 0:
+        temporal_map = temporal_map / temporal_map.max()
+    else:
+        temporal_map = np.ones_like(temporal_map)
+    return dimension_map * temporal_map[None, :]
 
 
 def grad_cam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: int,
@@ -67,11 +106,7 @@ def mtex_grad_cam(model: "MTEXCNNClassifier", series: np.ndarray, class_id: int
     series = np.asarray(series, dtype=np.float64)
     model.eval()
     prepared = model.prepare_input(series[None])
-    block1 = model.block1_features(prepared)
-    merged = model.merge(block1).squeeze(axis=2)
-    block2 = model.block2(merged)
-    pooled = F.global_average_pool(block2)
-    logits = model.output(model.hidden(pooled).relu())
+    block1, block2, logits = mtex_forward(model, prepared)
     score = logits[0, class_id]
     score.backward()
     dimension_map = _gradcam_from(block1, relu=True)
@@ -88,8 +123,4 @@ def mtex_explanation(model: "MTEXCNNClassifier", series: np.ndarray, class_id: i
     ground-truth masks.
     """
     dimension_map, temporal_map = mtex_grad_cam(model, series, class_id)
-    if temporal_map.max() > 0:
-        temporal_map = temporal_map / temporal_map.max()
-    else:
-        temporal_map = np.ones_like(temporal_map)
-    return dimension_map * temporal_map[None, :]
+    return combine_mtex_maps(dimension_map, temporal_map)

@@ -13,14 +13,16 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.cam import cam_as_multivariate, class_activation_map
-from ..core.dcam import DEFAULT_BATCH_SIZE, compute_dcam
-from ..core.gradcam import mtex_explanation
+from ..core.dcam import DEFAULT_BATCH_SIZE
 from ..data.datasets import MultivariateDataset
 from ..data.splits import train_validation_split
 from ..models.base import BaseClassifier, TrainingConfig
 from ..models.registry import create_model
-from .dr_acc import dr_acc
+
+# NOTE: the explanation wrappers below import from ``repro.explain`` lazily so
+# that the eval layer has no load-time dependency on it (repro.explain imports
+# ``repro.eval.dr_acc``; a module-level import here would close a cycle that
+# only resolves for one package import order).
 
 
 @dataclass
@@ -74,25 +76,21 @@ def explanation_for(model: BaseClassifier, model_name: str, series: np.ndarray,
                     class_id: int, k: int = 20,
                     rng: Optional[np.random.Generator] = None,
                     batch_size: int = DEFAULT_BATCH_SIZE) -> Tuple[np.ndarray, Optional[float]]:
-    """Dispatch to the explanation method matching the architecture family.
+    """Explain one series via the model family's registered explainer.
 
-    Returns the ``(D, n)`` explanation heatmap and, for the d-architectures,
-    the ``n_g / k`` success ratio (None otherwise).  ``batch_size`` is the
-    dCAM micro-batch knob (permuted cubes per forward pass); it trades speed
-    against peak memory, affecting results only at float round-off level.
+    Dispatch is driven by the ``explainer_family`` attribute of the model
+    class (see :mod:`repro.explain.registry`); ``model_name`` is kept for
+    call-site compatibility but no longer consulted.  Returns the ``(D, n)``
+    explanation heatmap and, for the dCAM family, the ``n_g / k`` success
+    ratio (None otherwise).  ``batch_size`` is the micro-batch knob of the
+    family's batch engine; it trades speed against peak memory, affecting
+    results only at float round-off level.
     """
-    n_dimensions = series.shape[0]
-    name = model_name.lower()
-    if name.startswith("d"):
-        result = compute_dcam(model, series, class_id, k=k, rng=rng,
-                              batch_size=batch_size)
-        return result.dcam, result.success_ratio
-    if name == "mtex":
-        return mtex_explanation(model, series, class_id), None
-    cam = class_activation_map(model, series, class_id)
-    if cam.ndim == 1:
-        return cam_as_multivariate(cam, n_dimensions), None
-    return cam, None
+    from ..explain.registry import get_explainer
+
+    explainer = get_explainer(model, k=k, batch_size=batch_size, rng=rng)
+    explanation = explainer.explain(series, class_id)
+    return explanation.heatmap, explanation.success_ratio
 
 
 def evaluate_explanation(model: BaseClassifier, model_name: str,
@@ -103,28 +101,17 @@ def evaluate_explanation(model: BaseClassifier, model_name: str,
     """Average Dr-acc of a trained model over instances of ``target_class``.
 
     Only instances whose ground-truth mask is non-empty are considered (the
-    class with injected discriminant features).
+    class with injected discriminant features).  Thin wrapper over
+    :func:`repro.explain.evaluate_explainer`, kept for the legacy
+    ``(dr_acc, success_ratio)`` return shape; ``model_name`` is no longer
+    consulted (dispatch uses the model's ``explainer_family``).
     """
-    if test.ground_truth is None:
-        raise ValueError("dataset has no ground-truth masks")
-    rng = np.random.default_rng(random_state)
-    candidate_indices = [
-        index for index in range(len(test))
-        if test.y[index] == target_class and test.ground_truth[index].sum() > 0
-    ]
-    if not candidate_indices:
-        raise ValueError(f"no instances of class {target_class} with ground truth")
-    chosen = candidate_indices[:n_instances]
-    scores, ratios = [], []
-    for index in chosen:
-        heatmap, ratio = explanation_for(model, model_name, test.X[index],
-                                         int(test.y[index]), k=k, rng=rng,
-                                         batch_size=batch_size)
-        scores.append(dr_acc(heatmap, test.ground_truth[index]))
-        if ratio is not None:
-            ratios.append(ratio)
-    mean_ratio = float(np.mean(ratios)) if ratios else None
-    return float(np.mean(scores)), mean_ratio
+    from ..explain.evaluation import evaluate_explainer
+
+    report = evaluate_explainer(model, test, target_class=target_class,
+                                n_instances=n_instances, k=k,
+                                batch_size=batch_size, random_state=random_state)
+    return report.as_tuple()
 
 
 def repeated_runs(model_name: str, dataset: MultivariateDataset, test: MultivariateDataset,

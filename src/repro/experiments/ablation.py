@@ -16,8 +16,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.dcam import compute_dcam, extract_dcam
+from ..core.dcam import extract_dcam
 from ..eval.dr_acc import dr_acc
+from ..explain.evaluation import select_explainable_instances
+from ..explain.registry import get_explainer
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
 from .runner import synthetic_train_test, train_model
@@ -61,18 +63,19 @@ def run_extraction_ablation(scale: Optional[ExperimentScale] = None,
         train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
                                            scale, config_seed)
         model, _ = train_model(model_name, train, scale, random_state=config_seed)
-        indices = [
-            index for index in range(len(test))
-            if test.y[index] == 1 and test.ground_truth[index].sum() > 0
-        ][: scale.n_explained_instances]
+        indices = select_explainable_instances(test, target_class=1,
+                                               n_instances=scale.n_explained_instances)
         scores: Dict[str, List[float]] = {variant: [] for variant in EXTRACTION_VARIANTS}
-        rng = np.random.default_rng(config_seed)
+        explainer = get_explainer(model, k=scale.k_permutations,
+                                  rng=np.random.default_rng(config_seed),
+                                  batch_size=scale.dcam_batch_size)
+        # Per-instance explain keeps only one (D, D, n) M̄ payload alive at a
+        # time; the draws come off the shared generator in sequence, so the
+        # results match the batch engine exactly.
         for index in indices:
-            dcam_result = compute_dcam(model, test.X[index], int(test.y[index]),
-                                       k=scale.k_permutations, rng=rng,
-                                       batch_size=scale.dcam_batch_size)
+            explanation = explainer.explain(test.X[index], int(test.y[index]))
             for variant in EXTRACTION_VARIANTS:
-                heatmap = extract_variant(dcam_result.m_bar, variant)
+                heatmap = extract_variant(explanation.details.m_bar, variant)
                 scores[variant].append(dr_acc(heatmap, test.ground_truth[index]))
         row: Dict[str, object] = {"dataset": f"{seed_name}-type{dataset_type}-D{n_dimensions}",
                                   "model": model_name}
@@ -96,25 +99,24 @@ def run_ng_filter_ablation(scale: Optional[ExperimentScale] = None,
         train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
                                            scale, config_seed)
         model, _ = train_model(model_name, train, scale, random_state=config_seed)
-        indices = [
-            index for index in range(len(test))
-            if test.y[index] == 1 and test.ground_truth[index].sum() > 0
-        ][: scale.n_explained_instances]
+        indices = select_explainable_instances(test, target_class=1,
+                                               n_instances=scale.n_explained_instances)
         all_scores, correct_scores, ratios = [], [], []
         for index in indices:
-            rng = np.random.default_rng(config_seed)
-            result_all = compute_dcam(model, test.X[index], int(test.y[index]),
-                                      k=scale.k_permutations, rng=rng,
-                                      use_only_correct=False,
-                                      batch_size=scale.dcam_batch_size)
-            rng = np.random.default_rng(config_seed)
-            result_correct = compute_dcam(model, test.X[index], int(test.y[index]),
-                                          k=scale.k_permutations, rng=rng,
-                                          use_only_correct=True,
-                                          batch_size=scale.dcam_batch_size)
-            all_scores.append(dr_acc(result_all.dcam, test.ground_truth[index]))
-            correct_scores.append(dr_acc(result_correct.dcam, test.ground_truth[index]))
-            ratios.append(result_all.success_ratio)
+            # Fresh generators so both variants see the same permutations on
+            # every instance (the ablated quantity is the filter, not the draw).
+            explanation_all = get_explainer(
+                model, k=scale.k_permutations, rng=np.random.default_rng(config_seed),
+                batch_size=scale.dcam_batch_size, use_only_correct=False,
+            ).explain(test.X[index], int(test.y[index]))
+            explanation_correct = get_explainer(
+                model, k=scale.k_permutations, rng=np.random.default_rng(config_seed),
+                batch_size=scale.dcam_batch_size, use_only_correct=True,
+            ).explain(test.X[index], int(test.y[index]))
+            all_scores.append(dr_acc(explanation_all.heatmap, test.ground_truth[index]))
+            correct_scores.append(dr_acc(explanation_correct.heatmap,
+                                         test.ground_truth[index]))
+            ratios.append(explanation_all.success_ratio)
         result.rows.append({
             "dataset": f"{seed_name}-type{dataset_type}-D{n_dimensions}",
             "model": model_name,

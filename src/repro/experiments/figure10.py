@@ -13,8 +13,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.dcam import compute_dcam
-from ..eval.dr_acc import dr_acc
+from ..explain.evaluation import evaluate_explainer
+from ..models.registry import models_with_explainer_family
 from .config import ExperimentScale, get_scale
 from .reporting import format_series, format_table
 from .runner import synthetic_train_test, train_model
@@ -63,7 +63,7 @@ def run_figure10(scale: Optional[ExperimentScale] = None,
                  base_seed: int = 0) -> Figure10Result:
     """Run the Figure 10 experiment."""
     scale = scale or get_scale("small")
-    models = list(models or [m for m in scale.table3_models if m.startswith("d")])
+    models = list(models or models_with_explainer_family("dcam", scale.table3_models))
     dimensions = list(dimensions or scale.dimension_sweep[:2])
     if k_values is None:
         maximum = max(4, scale.k_permutations)
@@ -74,22 +74,12 @@ def run_figure10(scale: Optional[ExperimentScale] = None,
             config_seed = base_seed + 100 * dataset_type + n_dimensions
             train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
                                                scale, config_seed)
-            explain_indices = [
-                index for index in range(len(test))
-                if test.y[index] == 1 and test.ground_truth[index].sum() > 0
-            ][: scale.n_explained_instances]
             for model_name in models:
                 model, _ = train_model(model_name, train, scale, random_state=config_seed)
                 curve = []
                 for k in result.k_values:
-                    rng = np.random.default_rng(config_seed)
-                    scores = [
-                        dr_acc(compute_dcam(model, test.X[index], int(test.y[index]),
-                                            k=k, rng=rng,
-                                            batch_size=scale.dcam_batch_size).dcam,
-                               test.ground_truth[index])
-                        for index in explain_indices
-                    ]
-                    curve.append(float(np.mean(scores)))
+                    report = evaluate_explainer(model, test, scale, k=k,
+                                                random_state=config_seed)
+                    curve.append(report.dr_acc)
                 result.curves[(model_name, dataset_type, n_dimensions)] = curve
     return result

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..models.registry import models_with_explainer_family
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
 from .runner import (
@@ -90,7 +91,7 @@ def run_figure11(scale: Optional[ExperimentScale] = None,
                  base_seed: int = 0) -> Figure11Result:
     """Run the Figure 11 experiment (d-architectures only)."""
     scale = scale or get_scale("small")
-    models = list(models or [m for m in scale.table3_models if m.startswith("d")])
+    models = list(models or models_with_explainer_family("dcam", scale.table3_models))
     seeds = list(seeds or scale.synthetic_seeds)
     dimensions = list(dimensions or scale.dimension_sweep)
     result = Figure11Result()

@@ -22,8 +22,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.dcam import compute_dcam
 from ..data.synthetic import SyntheticConfig, make_type1_dataset
+from ..explain.registry import get_explainer
 from ..models.base import TrainingConfig
 from ..models.registry import create_model
 from .config import ExperimentScale, get_scale
@@ -122,27 +122,30 @@ def run_figure12(scale: Optional[ExperimentScale] = None,
         series = rng.standard_normal((dims, base_length))
         model = create_model(dcam_model, dims, base_length, 2, rng=rng,
                              **scale.model_kwargs(dcam_model))
+        explainer = get_explainer(model, k=min(scale.k_permutations, 8), rng=rng,
+                                  batch_size=scale.dcam_batch_size)
         start = time.perf_counter()
-        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng,
-                     batch_size=scale.dcam_batch_size)
+        explainer.explain(series, 0)
         result.dcam_time_vs_dimensions.setdefault(dcam_model, []).append(
             time.perf_counter() - start)
     for length in lengths:
         series = rng.standard_normal((base_dims, length))
         model = create_model(dcam_model, base_dims, length, 2, rng=rng,
                              **scale.model_kwargs(dcam_model))
+        explainer = get_explainer(model, k=min(scale.k_permutations, 8), rng=rng,
+                                  batch_size=scale.dcam_batch_size)
         start = time.perf_counter()
-        compute_dcam(model, series, 0, k=min(scale.k_permutations, 8), rng=rng,
-                     batch_size=scale.dcam_batch_size)
+        explainer.explain(series, 0)
         result.dcam_time_vs_length.setdefault(dcam_model, []).append(
             time.perf_counter() - start)
     series = rng.standard_normal((base_dims, base_length))
     model = create_model(dcam_model, base_dims, base_length, 2, rng=rng,
                          **scale.model_kwargs(dcam_model))
     for k in result.k_values:
+        explainer = get_explainer(model, k=k, rng=rng,
+                                  batch_size=scale.dcam_batch_size)
         start = time.perf_counter()
-        compute_dcam(model, series, 0, k=k, rng=rng,
-                     batch_size=scale.dcam_batch_size)
+        explainer.explain(series, 0)
         result.dcam_time_vs_k.setdefault(dcam_model, []).append(time.perf_counter() - start)
 
     # Panel (c): convergence (epochs / seconds to 90% of best loss).

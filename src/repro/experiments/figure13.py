@@ -25,9 +25,10 @@ from ..core.aggregate import (
     top_discriminant_dimensions,
     top_discriminant_segments,
 )
-from ..core.dcam import DCAMResult, compute_dcam
+from ..core.dcam import DCAMResult
 from ..data.jigsaws import JigsawsConfig, make_jigsaws_dataset
 from ..data.splits import train_validation_split
+from ..explain.registry import get_explainer
 from ..models.registry import create_model
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
@@ -113,17 +114,17 @@ def run_figure13(scale: Optional[ExperimentScale] = None,
         planted_gestures=list(dataset.metadata["discriminant_gestures"]),
     )
 
-    # dCAM for every novice-class instance (class 0 = novice).
+    # dCAM for every novice-class instance (class 0 = novice), explained in
+    # one batch through the registry's shared pipeline.
     novice_class = 0
     novice_indices = [index for index in range(len(dataset)) if dataset.y[index] == novice_class]
     segments = dataset.metadata["gesture_segments"]
-    dcam_results: List[DCAMResult] = []
-    novice_segments = []
-    for index in novice_indices:
-        dcam_results.append(compute_dcam(model, dataset.X[index], novice_class,
-                                         k=scale.k_permutations, rng=rng,
-                                         batch_size=scale.dcam_batch_size))
-        novice_segments.append(segments[index])
+    explainer = get_explainer(model, k=scale.k_permutations, rng=rng,
+                              batch_size=scale.dcam_batch_size)
+    explanations = explainer.explain_batch(dataset.X[novice_indices],
+                                           [novice_class] * len(novice_indices))
+    dcam_results: List[DCAMResult] = [explanation.details for explanation in explanations]
+    novice_segments = [segments[index] for index in novice_indices]
 
     result.max_activation = max_activation_per_dimension(dcam_results)
     result.per_gesture_activation = mean_activation_per_segment(dcam_results, novice_segments)

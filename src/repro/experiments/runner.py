@@ -8,8 +8,9 @@ import numpy as np
 
 from ..data.datasets import MultivariateDataset
 from ..data.synthetic import SyntheticConfig, make_dataset
-from ..eval.dr_acc import dr_acc, random_baseline_dr_acc
-from ..eval.protocol import explanation_for, fit_on_dataset
+from ..eval.dr_acc import random_baseline_dr_acc
+from ..eval.protocol import fit_on_dataset
+from ..explain.evaluation import evaluate_explainer, select_explainable_instances
 from ..models.base import BaseClassifier, TrainingHistory
 from ..models.registry import create_model
 from .config import ExperimentScale
@@ -35,37 +36,23 @@ def explanation_accuracy_of(model: BaseClassifier, model_name: str,
                             target_class: int = 1,
                             random_state: Optional[int] = None
                             ) -> Tuple[float, Optional[float]]:
-    """Average Dr-acc (and n_g/k for d-models) on explained test instances."""
-    if test.ground_truth is None:
-        raise ValueError("test dataset has no ground-truth masks")
-    rng = np.random.default_rng(random_state)
-    indices = [
-        index for index in range(len(test))
-        if test.y[index] == target_class and test.ground_truth[index].sum() > 0
-    ][: scale.n_explained_instances]
-    if not indices:
-        raise ValueError("no explainable instances in the test dataset")
-    scores, ratios = [], []
-    for index in indices:
-        heatmap, ratio = explanation_for(model, model_name, test.X[index],
-                                         int(test.y[index]),
-                                         k=scale.k_permutations, rng=rng,
-                                         batch_size=scale.dcam_batch_size)
-        scores.append(dr_acc(heatmap, test.ground_truth[index]))
-        if ratio is not None:
-            ratios.append(ratio)
-    return float(np.mean(scores)), (float(np.mean(ratios)) if ratios else None)
+    """Average Dr-acc (and n_g/k for the dCAM family) on explained instances.
+
+    Thin wrapper over :func:`repro.explain.evaluate_explainer` with the
+    scale's knobs, kept for the legacy ``(dr_acc, success_ratio)`` return
+    shape; ``model_name`` is no longer consulted (dispatch uses the model's
+    ``explainer_family``).
+    """
+    report = evaluate_explainer(model, test, scale, target_class=target_class,
+                                random_state=random_state)
+    return report.as_tuple()
 
 
 def random_explanation_accuracy(test: MultivariateDataset, scale: ExperimentScale,
                                 target_class: int = 1) -> float:
     """Dr-acc of the random-scores baseline (Table 3's "Random" column)."""
-    if test.ground_truth is None:
-        raise ValueError("test dataset has no ground-truth masks")
-    indices = [
-        index for index in range(len(test))
-        if test.y[index] == target_class and test.ground_truth[index].sum() > 0
-    ][: scale.n_explained_instances]
+    indices = select_explainable_instances(test, target_class,
+                                           scale.n_explained_instances)
     scores = [random_baseline_dr_acc(test.ground_truth[index]) for index in indices]
     return float(np.mean(scores))
 

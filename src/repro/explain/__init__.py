@@ -1,0 +1,58 @@
+"""Unified explanation subsystem: one registry, three families, batch engines.
+
+Every explanation method of the paper is an :class:`~repro.explain.base.Explainer`
+registered under the ``explainer_family`` its model classes declare:
+
+========  ===========================================  =======================
+family    architectures                                method
+========  ===========================================  =======================
+cam       CNN / ResNet / InceptionTime and c-variants  CAM (Section 2.2)
+gradcam   MTEX-CNN                                     grad-CAM ("MTEX-grad")
+dcam      dCNN / dResNet / dInceptionTime              dCAM (Section 4)
+========  ===========================================  =======================
+
+Typical use::
+
+    from repro.explain import get_explainer, evaluate_explainer
+
+    explainer = get_explainer(model, k=100, batch_size=32)
+    explanation = explainer.explain(series, class_id)          # one series
+    explanations = explainer.explain_batch(X, class_ids)       # full batch
+
+    report = evaluate_explainer(model, test_dataset, scale)    # Dr-acc protocol
+    report.dr_acc, report.success_ratio
+"""
+
+from .base import DEFAULT_K, Explainer, Explanation
+from .cam import CAMExplainer
+from .dcam import DCAMExplainer
+from .evaluation import (
+    ExplanationReport,
+    evaluate_explainer,
+    select_explainable_instances,
+)
+from .gradcam import GradCAMExplainer
+from .registry import (
+    EXPLAINER_REGISTRY,
+    explainer_family_of,
+    get_explainer,
+    register_explainer,
+    registered_families,
+)
+
+__all__ = [
+    "DEFAULT_K",
+    "Explainer",
+    "Explanation",
+    "CAMExplainer",
+    "GradCAMExplainer",
+    "DCAMExplainer",
+    "EXPLAINER_REGISTRY",
+    "register_explainer",
+    "registered_families",
+    "explainer_family_of",
+    "get_explainer",
+    "ExplanationReport",
+    "evaluate_explainer",
+    "select_explainable_instances",
+]

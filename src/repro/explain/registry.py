@@ -1,0 +1,84 @@
+"""Explainer registry: look up an explanation method by model *family*.
+
+Mirrors :mod:`repro.models.registry`, but keys on the ``explainer_family``
+class attribute that every explainable :class:`~repro.models.base.BaseClassifier`
+subclass declares (``"cam"``, ``"gradcam"`` or ``"dcam"``) instead of on
+fragile model-name prefixes.  Adding a new explanation method is a one-file
+change: subclass :class:`~repro.explain.base.Explainer`, decorate it with
+:func:`register_explainer`, and set ``explainer_family`` on the architectures
+it serves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+import numpy as np
+
+from ..core.dcam import DEFAULT_BATCH_SIZE
+from .base import DEFAULT_K, Explainer
+
+#: family name -> concrete :class:`Explainer` subclass.
+EXPLAINER_REGISTRY: Dict[str, Type[Explainer]] = {}
+
+
+def register_explainer(family: str) -> Callable[[Type[Explainer]], Type[Explainer]]:
+    """Class decorator registering an :class:`Explainer` under ``family``."""
+
+    def decorator(cls: Type[Explainer]) -> Type[Explainer]:
+        if family in EXPLAINER_REGISTRY:
+            raise ValueError(f"explainer family {family!r} is already registered")
+        cls.family = family
+        EXPLAINER_REGISTRY[family] = cls
+        return cls
+
+    return decorator
+
+
+def registered_families() -> List[str]:
+    """Families accepted by :func:`get_explainer` (sorted)."""
+    return sorted(EXPLAINER_REGISTRY)
+
+
+def explainer_family_of(model) -> str:
+    """The ``explainer_family`` declared by ``model``'s class.
+
+    Raises
+    ------
+    KeyError
+        If the model declares no family (e.g. the recurrent baselines, whose
+        hidden states expose no activation maps to explain).
+    """
+    family = getattr(model, "explainer_family", None)
+    if family is None:
+        raise KeyError(
+            f"{type(model).__name__} declares no explainer_family and cannot be "
+            f"explained; registered families: {registered_families()}"
+        )
+    return family
+
+
+def get_explainer(model, *, k: int = DEFAULT_K,
+                  batch_size: int = DEFAULT_BATCH_SIZE,
+                  rng: Optional[np.random.Generator] = None,
+                  **kwargs) -> Explainer:
+    """Build the explainer matching ``model``'s declared family.
+
+    Extra keyword arguments are forwarded to the concrete explainer (e.g.
+    ``use_only_correct`` for the dCAM family).
+
+    Raises
+    ------
+    KeyError
+        If the model declares no ``explainer_family`` or declares one that no
+        registered explainer serves; the message lists the registered
+        families.
+    """
+    family = explainer_family_of(model)
+    if family not in EXPLAINER_REGISTRY:
+        raise KeyError(
+            f"no explainer registered for family {family!r} (declared by "
+            f"{type(model).__name__}); registered families: {registered_families()}"
+        )
+    return EXPLAINER_REGISTRY[family](model, k=k, batch_size=batch_size, rng=rng,
+                                      **kwargs)

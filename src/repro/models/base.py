@@ -92,6 +92,10 @@ class BaseClassifier(Module):
     input_kind: str = "raw"
     #: Whether the architecture ends with GAP + dense, i.e. supports CAM.
     supports_cam: bool = False
+    #: Which explanation family of :mod:`repro.explain` serves this
+    #: architecture ("cam", "gradcam" or "dcam"); ``None`` for architectures
+    #: without an explanation method (the recurrent baselines).
+    explainer_family: Optional[str] = None
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  rng: Optional[np.random.Generator] = None) -> None:

@@ -41,6 +41,7 @@ class ConvBackboneClassifier(BaseClassifier):
     """
 
     supports_cam = True
+    explainer_family = "cam"
 
     feature_extractor: Module
     feature_channels: int
@@ -87,6 +88,9 @@ class CubeInputMixin:
     """
 
     input_kind = "cube"
+    # Listed before ConvBackboneClassifier in every d-architecture's bases, so
+    # this overrides the backbone's "cam" family.
+    explainer_family = "dcam"
 
     def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
         X = np.asarray(X, dtype=np.float64)

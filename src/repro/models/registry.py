@@ -56,6 +56,34 @@ def available_models() -> List[str]:
     return list(MODEL_REGISTRY)
 
 
+def _normalize(name: str) -> str:
+    return name.lower().replace("-", "").replace("_", "")
+
+
+def explainer_family_of_model(name: str) -> Optional[str]:
+    """The ``explainer_family`` declared by the architecture named ``name``.
+
+    Returns ``None`` for architectures without an explanation method (the
+    recurrent baselines).
+    """
+    key = _normalize(name)
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    return getattr(MODEL_REGISTRY[key], "explainer_family", None)
+
+
+def models_with_explainer_family(family: str,
+                                 names: Optional[List[str]] = None) -> List[str]:
+    """Model names served by explanation ``family`` ("cam"/"gradcam"/"dcam").
+
+    ``names`` restricts (and orders) the candidates; defaults to every
+    registered model.  Replaces the old name-prefix filters such as
+    ``name.startswith("d")``.
+    """
+    pool = list(names) if names is not None else list(MODEL_REGISTRY)
+    return [name for name in pool if explainer_family_of_model(name) == family]
+
+
 def create_model(name: str, n_dimensions: int, length: int, n_classes: int,
                  rng: Optional[np.random.Generator] = None, **kwargs) -> BaseClassifier:
     """Instantiate an architecture by (case-insensitive) name.
@@ -63,7 +91,7 @@ def create_model(name: str, n_dimensions: int, length: int, n_classes: int,
     Extra keyword arguments are forwarded to the architecture constructor
     (e.g. ``filters`` for the CNN family, ``depth`` for InceptionTime).
     """
-    key = name.lower().replace("-", "").replace("_", "")
+    key = _normalize(name)
     if key not in MODEL_REGISTRY:
         raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
     model_class = MODEL_REGISTRY[key]
