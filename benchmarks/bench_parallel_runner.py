@@ -1,0 +1,106 @@
+"""Wall-clock benchmark: serial vs parallel experiment execution.
+
+Runs the Table 3 sweep through the :mod:`repro.runtime` job-graph executor
+twice — once on :class:`~repro.runtime.SerialExecutor` and once on a
+2-worker (configurable) :class:`~repro.runtime.ParallelExecutor` — verifies
+that both produce *identical* numbers (exits non-zero otherwise), and emits a
+JSON record to ``benchmarks/results/parallel_runner.json`` so the speedup is
+tracked across the bench trajectory.
+
+Run directly (no install needed)::
+
+    python benchmarks/bench_parallel_runner.py [--scale tiny] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+# Allow running straight from a checkout without installing the package.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.experiments import get_scale, run_table3, table3_spec  # noqa: E402
+from repro.runtime import ParallelExecutor, SerialExecutor  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def table3_numbers(result):
+    """Flatten a Table3Result into an exactly-comparable structure."""
+    return [
+        (row.seed_name, row.dataset_type, row.n_dimensions,
+         row.c_acc, row.dr_acc, row.success_ratio, row.random_dr_acc)
+        for row in result.rows
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "small"],
+                        help="experiment scale of the Table 3 sweep")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the parallel run")
+    parser.add_argument("--output",
+                        default=os.path.join(RESULTS_DIR, "parallel_runner.json"),
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    scale = get_scale(args.scale, random_state=0)
+    n_units = len(table3_spec(scale).units)
+    print(f"[parallel_runner] table3 at scale={args.scale}: {n_units} work units")
+
+    print("[parallel_runner] serial run ...")
+    start = time.perf_counter()
+    serial_result = run_table3(scale, executor=SerialExecutor())
+    serial_seconds = time.perf_counter() - start
+
+    print(f"[parallel_runner] parallel run ({args.workers} workers) ...")
+    start = time.perf_counter()
+    parallel_result = run_table3(scale, executor=ParallelExecutor(workers=args.workers))
+    parallel_seconds = time.perf_counter() - start
+
+    if table3_numbers(serial_result) != table3_numbers(parallel_result):
+        raise SystemExit("FAIL: parallel execution deviates from serial results")
+
+    speedup = serial_seconds / parallel_seconds
+    print(f"[parallel_runner] serial {serial_seconds:6.2f}s   "
+          f"parallel[{args.workers}] {parallel_seconds:6.2f}s   "
+          f"speedup {speedup:.2f}x   (results identical)")
+
+    record = {
+        "benchmark": "parallel_runner",
+        "experiment": "table3",
+        "scale": args.scale,
+        "workers": args.workers,
+        "n_units": n_units,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "results_identical": True,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    output_dir = os.path.dirname(args.output)
+    if output_dir:
+        os.makedirs(output_dir, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"[written to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,12 @@ The package is organised as follows:
   dCAM behind one registry-driven :class:`~repro.explain.Explainer` interface
   with batch engines.
 * :mod:`repro.experiments` — drivers that regenerate every table and figure of
-  the paper's evaluation section.
+  the paper's evaluation section, written as thin spec-builders over the
+  runtime.
+* :mod:`repro.runtime` — the declarative job-graph executor: frozen
+  :class:`~repro.runtime.WorkUnit` cells, serial / process-pool executors, a
+  content-addressed result cache and the :func:`repro.run` facade.  The
+  ``python -m repro`` CLI exposes the whole experiment suite on top of it.
 
 Quickstart
 ----------
@@ -33,7 +38,7 @@ Quickstart
 True
 """
 
-from . import core, data, eval, explain, models, nn
+from . import core, data, eval, explain, models, nn, runtime
 from .core import (
     DCAMResult,
     build_cube,
@@ -60,6 +65,14 @@ from .explain import (
     registered_families,
 )
 from .models import TrainingConfig, available_models, create_model
+from .runtime import (
+    ExperimentSpec,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    WorkUnit,
+    run,
+)
 
 __version__ = "1.0.0"
 
@@ -70,6 +83,13 @@ __all__ = [
     "data",
     "eval",
     "explain",
+    "runtime",
+    "run",
+    "ExperimentSpec",
+    "WorkUnit",
+    "ResultCache",
+    "SerialExecutor",
+    "ParallelExecutor",
     "__version__",
     "Explanation",
     "ExplanationReport",

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro`` (see :mod:`repro.runtime.cli`)."""
+
+import sys
+
+from .runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,12 +22,24 @@ saturating at 1.0 for every dataset.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .datasets import MultivariateDataset
+
+
+def _stable_seed(name: str, random_state: Optional[int]) -> int:
+    """Process-stable 32-bit seed for a (dataset name, random_state) pair.
+
+    Python's built-in ``hash`` of strings is randomized per interpreter
+    (PYTHONHASHSEED), which would make the simulated datasets differ between
+    the parent and spawned worker processes of the parallel experiment
+    runner, and across CLI invocations sharing a result cache.
+    """
+    return zlib.crc32(f"{name}:{random_state}".encode("utf-8"))
 
 #: Metadata of the 23 UEA datasets used in Table 2: (classes, length, dimensions).
 UEA_METADATA: Dict[str, Tuple[int, int, int]] = {
@@ -120,10 +132,7 @@ def make_uea_dataset(name: str, config: Optional[UEASimulationConfig] = None) ->
     """
     config = config or UEASimulationConfig()
     n_classes, length, n_dims = scaled_metadata(name, config)
-    seed = abs(hash((name, config.random_state))) % (2 ** 32)
-    rng = np.random.default_rng(seed if config.random_state is not None else None)
-    if config.random_state is None:
-        rng = np.random.default_rng(abs(hash(name)) % (2 ** 32))
+    rng = np.random.default_rng(_stable_seed(name, config.random_state))
 
     noise = 0.3 * config.noise_scale * _difficulty(name)
     pattern_length = max(8, length // 4)

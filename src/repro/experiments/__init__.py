@@ -1,22 +1,32 @@
-"""Experiment drivers regenerating every table and figure of the paper."""
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Every driver is a thin spec-builder + result-assembler over the
+:mod:`repro.runtime` job-graph API: ``<name>_spec(...)`` describes the sweep
+as frozen work units, ``run_<name>(..., executor=..., cache=...)`` evaluates
+it (serially by default, or on a process pool) and reassembles the paper's
+tables/figures.  The work functions behind the unit kinds live in
+:mod:`repro.experiments.units`.
+"""
 
 from .ablation import (
     AblationResult,
     EXTRACTION_VARIANTS,
     extract_variant,
+    extraction_ablation_spec,
+    ng_filter_ablation_spec,
     run_extraction_ablation,
     run_ng_filter_ablation,
 )
 from .config import ExperimentScale, get_scale, paper_scale, small_scale, tiny_scale
 from .figure8 import FIGURE8_PAIRS, Figure8Result, run_figure8
 from .figure9 import Figure9Result, run_figure9
-from .figure10 import Figure10Result, run_figure10
-from .figure11 import Figure11Point, Figure11Result, run_figure11
-from .figure12 import Figure12Result, run_figure12
-from .figure13 import Figure13Result, run_figure13
+from .figure10 import Figure10Result, figure10_spec, run_figure10
+from .figure11 import Figure11Point, Figure11Result, figure11_spec, run_figure11
+from .figure12 import Figure12Result, figure12_spec, run_figure12
+from .figure13 import Figure13Result, figure13_spec, run_figure13
 from .reporting import format_series, format_table
-from .table2 import Table2Result, run_table2
-from .table3 import Table3Result, Table3Row, run_table3
+from .table2 import Table2Result, run_table2, table2_spec
+from .table3 import Table3Result, Table3Row, run_table3, table3_spec
 
 __all__ = [
     "ExperimentScale",
@@ -28,9 +38,17 @@ __all__ = [
     "format_series",
     "Table2Result",
     "run_table2",
+    "table2_spec",
     "Table3Result",
     "Table3Row",
     "run_table3",
+    "table3_spec",
+    "figure10_spec",
+    "figure11_spec",
+    "figure12_spec",
+    "figure13_spec",
+    "extraction_ablation_spec",
+    "ng_filter_ablation_spec",
     "FIGURE8_PAIRS",
     "Figure8Result",
     "run_figure8",

@@ -17,12 +17,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.dcam import extract_dcam
-from ..eval.dr_acc import dr_acc
-from ..explain.evaluation import select_explainable_instances
-from ..explain.registry import get_explainer
+from ..runtime import ExperimentSpec, ResultCache, WorkUnit
+from ..runtime import run as run_spec
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
-from .runner import synthetic_train_test, train_model
 
 EXTRACTION_VARIANTS = ("variance_x_mean", "variance_only", "mean_only")
 
@@ -49,79 +48,63 @@ class AblationResult:
         return format_table(self.rows, title=title)
 
 
+def _ablation_spec(kind: str, name: str, scale: ExperimentScale, seed_name: str,
+                   dataset_types: Sequence[int], model_name: str,
+                   base_seed: int) -> ExperimentSpec:
+    """One ablation cell per dataset type, at the scale's first sweep dimension."""
+    n_dimensions = scale.dimension_sweep[0]
+    units = tuple(
+        WorkUnit.create(kind, seed_name=seed_name, dataset_type=dataset_type,
+                        n_dimensions=n_dimensions, model_name=model_name,
+                        config_seed=base_seed + 100 * dataset_type)
+        for dataset_type in dataset_types
+    )
+    return ExperimentSpec(name=name, scale=scale, units=units)
+
+
+def extraction_ablation_spec(scale: Optional[ExperimentScale] = None,
+                             seed_name: str = "starlight",
+                             dataset_types: Sequence[int] = (1, 2),
+                             model_name: str = "dcnn",
+                             base_seed: int = 0) -> ExperimentSpec:
+    """Declarative description of the extraction-rule ablation."""
+    scale = scale or get_scale("small")
+    return _ablation_spec("ablation_extraction_cell", "ablation-extraction", scale,
+                          seed_name, dataset_types, model_name, base_seed)
+
+
+def ng_filter_ablation_spec(scale: Optional[ExperimentScale] = None,
+                            seed_name: str = "starlight",
+                            dataset_types: Sequence[int] = (1, 2),
+                            model_name: str = "dcnn",
+                            base_seed: int = 0) -> ExperimentSpec:
+    """Declarative description of the permutation-filter ablation."""
+    scale = scale or get_scale("small")
+    return _ablation_spec("ablation_ng_filter_cell", "ablation-ng-filter", scale,
+                          seed_name, dataset_types, model_name, base_seed)
+
+
 def run_extraction_ablation(scale: Optional[ExperimentScale] = None,
                             seed_name: str = "starlight",
                             dataset_types: Sequence[int] = (1, 2),
                             model_name: str = "dcnn",
-                            base_seed: int = 0) -> AblationResult:
+                            base_seed: int = 0,
+                            executor: Optional[Executor] = None,
+                            cache: Optional[ResultCache] = None) -> AblationResult:
     """Compare the three extraction rules on Type 1 / Type 2 datasets."""
-    scale = scale or get_scale("small")
-    n_dimensions = scale.dimension_sweep[0]
-    result = AblationResult()
-    for dataset_type in dataset_types:
-        config_seed = base_seed + 100 * dataset_type
-        train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
-                                           scale, config_seed)
-        model, _ = train_model(model_name, train, scale, random_state=config_seed)
-        indices = select_explainable_instances(test, target_class=1,
-                                               n_instances=scale.n_explained_instances)
-        scores: Dict[str, List[float]] = {variant: [] for variant in EXTRACTION_VARIANTS}
-        explainer = get_explainer(model, k=scale.k_permutations,
-                                  rng=np.random.default_rng(config_seed),
-                                  batch_size=scale.dcam_batch_size)
-        # Per-instance explain keeps only one (D, D, n) M̄ payload alive at a
-        # time; the draws come off the shared generator in sequence, so the
-        # results match the batch engine exactly.
-        for index in indices:
-            explanation = explainer.explain(test.X[index], int(test.y[index]))
-            for variant in EXTRACTION_VARIANTS:
-                heatmap = extract_variant(explanation.details.m_bar, variant)
-                scores[variant].append(dr_acc(heatmap, test.ground_truth[index]))
-        row: Dict[str, object] = {"dataset": f"{seed_name}-type{dataset_type}-D{n_dimensions}",
-                                  "model": model_name}
-        for variant in EXTRACTION_VARIANTS:
-            row[variant] = float(np.mean(scores[variant]))
-        result.rows.append(row)
-    return result
+    spec = extraction_ablation_spec(scale, seed_name, dataset_types, model_name,
+                                    base_seed)
+    return AblationResult(rows=run_spec(spec, executor=executor, cache=cache))
 
 
 def run_ng_filter_ablation(scale: Optional[ExperimentScale] = None,
                            seed_name: str = "starlight",
                            dataset_types: Sequence[int] = (1, 2),
                            model_name: str = "dcnn",
-                           base_seed: int = 0) -> AblationResult:
+                           base_seed: int = 0,
+                           executor: Optional[Executor] = None,
+                           cache: Optional[ResultCache] = None) -> AblationResult:
     """Compare averaging over all permutations vs only correctly-classified ones."""
-    scale = scale or get_scale("small")
-    n_dimensions = scale.dimension_sweep[0]
-    result = AblationResult()
-    for dataset_type in dataset_types:
-        config_seed = base_seed + 100 * dataset_type
-        train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
-                                           scale, config_seed)
-        model, _ = train_model(model_name, train, scale, random_state=config_seed)
-        indices = select_explainable_instances(test, target_class=1,
-                                               n_instances=scale.n_explained_instances)
-        all_scores, correct_scores, ratios = [], [], []
-        for index in indices:
-            # Fresh generators so both variants see the same permutations on
-            # every instance (the ablated quantity is the filter, not the draw).
-            explanation_all = get_explainer(
-                model, k=scale.k_permutations, rng=np.random.default_rng(config_seed),
-                batch_size=scale.dcam_batch_size, use_only_correct=False,
-            ).explain(test.X[index], int(test.y[index]))
-            explanation_correct = get_explainer(
-                model, k=scale.k_permutations, rng=np.random.default_rng(config_seed),
-                batch_size=scale.dcam_batch_size, use_only_correct=True,
-            ).explain(test.X[index], int(test.y[index]))
-            all_scores.append(dr_acc(explanation_all.heatmap, test.ground_truth[index]))
-            correct_scores.append(dr_acc(explanation_correct.heatmap,
-                                         test.ground_truth[index]))
-            ratios.append(explanation_all.success_ratio)
-        result.rows.append({
-            "dataset": f"{seed_name}-type{dataset_type}-D{n_dimensions}",
-            "model": model_name,
-            "all_permutations": float(np.mean(all_scores)),
-            "only_correct": float(np.mean(correct_scores)),
-            "ng/k": float(np.mean(ratios)),
-        })
-    return result
+    spec = ng_filter_ablation_spec(scale, seed_name, dataset_types, model_name,
+                                   base_seed)
+    return AblationResult(rows=run_spec(spec, executor=executor, cache=cache))

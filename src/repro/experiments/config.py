@@ -17,6 +17,7 @@ from ..core.dcam import DEFAULT_BATCH_SIZE
 from ..data.synthetic import SyntheticConfig
 from ..data.uea import UEASimulationConfig
 from ..models.base import TrainingConfig
+from ..models.registry import kwargs_family_of_model
 
 
 @dataclass
@@ -55,19 +56,20 @@ class ExperimentScale:
     mtex_kwargs: Dict = field(default_factory=dict)
 
     def model_kwargs(self, model_name: str) -> Dict:
-        """Constructor keyword arguments for ``model_name`` at this scale."""
-        key = model_name.lower().replace("-", "").replace("_", "")
-        if key.endswith("cnn") and key != "mtexcnn" and key != "mtex":
-            return dict(self.cnn_kwargs)
-        if key.endswith("resnet"):
-            return dict(self.resnet_kwargs)
-        if key.endswith("inceptiontime"):
-            return dict(self.inception_kwargs)
-        if key in ("rnn", "gru", "lstm"):
-            return dict(self.recurrent_kwargs)
-        if key in ("mtex", "mtexcnn"):
-            return dict(self.mtex_kwargs)
-        return {}
+        """Constructor keyword arguments for ``model_name`` at this scale.
+
+        Dispatches on the ``kwargs_family`` the architecture class declares
+        in the model registry (no string-suffix heuristics).
+        """
+        family = kwargs_family_of_model(model_name)
+        per_family = {
+            "cnn": self.cnn_kwargs,
+            "resnet": self.resnet_kwargs,
+            "inception": self.inception_kwargs,
+            "recurrent": self.recurrent_kwargs,
+            "mtex": self.mtex_kwargs,
+        }
+        return dict(per_family.get(family, {}))
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """Return a copy with selected fields replaced."""

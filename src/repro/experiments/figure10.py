@@ -13,11 +13,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..explain.evaluation import evaluate_explainer
 from ..models.registry import models_with_explainer_family
+from ..runtime import ExperimentSpec, ResultCache, WorkUnit
+from ..runtime import run as run_spec
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_series, format_table
-from .runner import synthetic_train_test, train_model
 
 
 @dataclass
@@ -54,32 +55,58 @@ class Figure10Result:
         return "\n\n".join(blocks)
 
 
+def _figure10_options(scale, models, dimensions, k_values):
+    """Resolve the defaulted option lists shared by spec builder and runner."""
+    models = list(models or models_with_explainer_family("dcam", scale.table3_models))
+    dimensions = list(dimensions or scale.dimension_sweep[:2])
+    if k_values is None:
+        maximum = max(4, scale.k_permutations)
+        k_values = sorted({1, 2, max(2, maximum // 4), max(3, maximum // 2), maximum})
+    return models, dimensions, list(k_values)
+
+
+def figure10_spec(scale: Optional[ExperimentScale] = None,
+                  seed_name: str = "shapes",
+                  models: Optional[Sequence[str]] = None,
+                  dataset_types: Sequence[int] = (1, 2),
+                  dimensions: Optional[Sequence[int]] = None,
+                  k_values: Optional[Sequence[int]] = None,
+                  base_seed: int = 0) -> ExperimentSpec:
+    """One ``figure10_curve`` unit per (type, D, model): train once,
+    re-evaluate Dr-acc at every permutation count ``k``."""
+    scale = scale or get_scale("small")
+    models, dimensions, k_values = _figure10_options(scale, models, dimensions, k_values)
+    units: List[WorkUnit] = []
+    for dataset_type in dataset_types:
+        for n_dimensions in dimensions:
+            config_seed = base_seed + 100 * dataset_type + n_dimensions
+            for model_name in models:
+                units.append(WorkUnit.create(
+                    "figure10_curve", seed_name=seed_name, dataset_type=dataset_type,
+                    n_dimensions=n_dimensions, model_name=model_name,
+                    k_values=k_values, config_seed=config_seed))
+    return ExperimentSpec(name="figure10", scale=scale, units=tuple(units))
+
+
 def run_figure10(scale: Optional[ExperimentScale] = None,
                  seed_name: str = "shapes",
                  models: Optional[Sequence[str]] = None,
                  dataset_types: Sequence[int] = (1, 2),
                  dimensions: Optional[Sequence[int]] = None,
                  k_values: Optional[Sequence[int]] = None,
-                 base_seed: int = 0) -> Figure10Result:
+                 base_seed: int = 0,
+                 executor: Optional[Executor] = None,
+                 cache: Optional[ResultCache] = None) -> Figure10Result:
     """Run the Figure 10 experiment."""
     scale = scale or get_scale("small")
-    models = list(models or models_with_explainer_family("dcam", scale.table3_models))
-    dimensions = list(dimensions or scale.dimension_sweep[:2])
-    if k_values is None:
-        maximum = max(4, scale.k_permutations)
-        k_values = sorted({1, 2, max(2, maximum // 4), max(3, maximum // 2), maximum})
-    result = Figure10Result(k_values=list(k_values))
+    models, dimensions, k_values = _figure10_options(scale, models, dimensions, k_values)
+    spec = figure10_spec(scale, seed_name, models, dataset_types, dimensions,
+                         k_values, base_seed)
+    results = iter(run_spec(spec, executor=executor, cache=cache))
+    result = Figure10Result(k_values=k_values)
     for dataset_type in dataset_types:
         for n_dimensions in dimensions:
-            config_seed = base_seed + 100 * dataset_type + n_dimensions
-            train, test = synthetic_train_test(seed_name, dataset_type, n_dimensions,
-                                               scale, config_seed)
             for model_name in models:
-                model, _ = train_model(model_name, train, scale, random_state=config_seed)
-                curve = []
-                for k in result.k_values:
-                    report = evaluate_explainer(model, test, scale, k=k,
-                                                random_state=config_seed)
-                    curve.append(report.dr_acc)
-                result.curves[(model_name, dataset_type, n_dimensions)] = curve
+                curve = next(results)
+                result.curves[(model_name, dataset_type, n_dimensions)] = curve["dr_acc"]
     return result

@@ -15,14 +15,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..models.registry import models_with_explainer_family
+from ..runtime import ExperimentSpec, ResultCache, WorkUnit
+from ..runtime import run as run_spec
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
-from .runner import (
-    classification_accuracy_of,
-    explanation_accuracy_of,
-    synthetic_train_test,
-    train_model,
-)
 
 
 @dataclass
@@ -83,36 +80,69 @@ class Figure11Result:
         return table + "\n".join(lines)
 
 
+def _figure11_options(scale, models, seeds, dimensions):
+    """Resolve the defaulted option lists shared by spec builder and runner."""
+    models = list(models or models_with_explainer_family("dcam", scale.table3_models))
+    seeds = list(seeds or scale.synthetic_seeds)
+    dimensions = list(dimensions or scale.dimension_sweep)
+    return models, seeds, dimensions
+
+
+def figure11_spec(scale: Optional[ExperimentScale] = None,
+                  models: Optional[Sequence[str]] = None,
+                  seeds: Optional[Sequence[str]] = None,
+                  dataset_types: Sequence[int] = (1, 2),
+                  dimensions: Optional[Sequence[int]] = None,
+                  base_seed: int = 0) -> ExperimentSpec:
+    """One ``synthetic_cell`` unit per (seed, type, D, model) point.
+
+    The units are the same kind (with ``run_seed == config_seed``) that
+    Table 3 emits for its first run, so a shared cache makes the overlap
+    free.
+    """
+    scale = scale or get_scale("small")
+    models, seeds, dimensions = _figure11_options(scale, models, seeds, dimensions)
+    units: List[WorkUnit] = []
+    for seed_index, seed_name in enumerate(seeds):
+        for dataset_type in dataset_types:
+            for n_dimensions in dimensions:
+                config_seed = base_seed + 1000 * seed_index + 100 * dataset_type + n_dimensions
+                for model_name in models:
+                    units.append(WorkUnit.create(
+                        "synthetic_cell", seed_name=seed_name,
+                        dataset_type=dataset_type, n_dimensions=n_dimensions,
+                        model_name=model_name, config_seed=config_seed,
+                        run_seed=config_seed))
+    return ExperimentSpec(name="figure11", scale=scale, units=tuple(units))
+
+
 def run_figure11(scale: Optional[ExperimentScale] = None,
                  models: Optional[Sequence[str]] = None,
                  seeds: Optional[Sequence[str]] = None,
                  dataset_types: Sequence[int] = (1, 2),
                  dimensions: Optional[Sequence[int]] = None,
-                 base_seed: int = 0) -> Figure11Result:
+                 base_seed: int = 0,
+                 executor: Optional[Executor] = None,
+                 cache: Optional[ResultCache] = None) -> Figure11Result:
     """Run the Figure 11 experiment (d-architectures only)."""
     scale = scale or get_scale("small")
-    models = list(models or models_with_explainer_family("dcam", scale.table3_models))
-    seeds = list(seeds or scale.synthetic_seeds)
-    dimensions = list(dimensions or scale.dimension_sweep)
+    models, seeds, dimensions = _figure11_options(scale, models, seeds, dimensions)
+    spec = figure11_spec(scale, models, seeds, dataset_types, dimensions, base_seed)
+    results = iter(run_spec(spec, executor=executor, cache=cache))
     result = Figure11Result()
-    for seed_index, seed_name in enumerate(seeds):
+    for seed_name in seeds:
         for dataset_type in dataset_types:
             for n_dimensions in dimensions:
-                config_seed = base_seed + 1000 * seed_index + 100 * dataset_type + n_dimensions
-                train, test = synthetic_train_test(seed_name, dataset_type,
-                                                   n_dimensions, scale, config_seed)
                 for model_name in models:
-                    model, _ = train_model(model_name, train, scale, random_state=config_seed)
-                    c_acc = classification_accuracy_of(model, test)
-                    dr_score, ratio = explanation_accuracy_of(model, model_name, test,
-                                                              scale, random_state=config_seed)
+                    cell = next(results)
+                    ratio = cell["success_ratio"]
                     result.points.append(Figure11Point(
                         model=model_name,
                         seed_name=seed_name,
                         dataset_type=dataset_type,
                         n_dimensions=n_dimensions,
-                        c_acc=c_acc,
-                        dr_acc=dr_score,
+                        c_acc=cell["c_acc"],
+                        dr_acc=cell["dr_acc"],
                         success_ratio=ratio if ratio is not None else float("nan"),
                     ))
     return result

@@ -16,19 +16,15 @@ super-linearly with D, linearly with length and k).
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..data.synthetic import SyntheticConfig, make_type1_dataset
-from ..explain.registry import get_explainer
-from ..models.base import TrainingConfig
-from ..models.registry import create_model
+from ..runtime import ExperimentSpec, ResultCache, WorkUnit
+from ..runtime import run as run_spec
+from ..runtime.executor import Executor, ParallelExecutor
 from .config import ExperimentScale, get_scale
 from .reporting import format_series, format_table
-from .runner import synthetic_train_test, train_model
 
 
 @dataclass
@@ -68,22 +64,67 @@ class Figure12Result:
         return "\n\n".join(blocks)
 
 
-def _one_epoch_time(model_name: str, n_dimensions: int, length: int, scale: ExperimentScale,
-                    n_instances: int = 8, seed: int = 0) -> float:
-    """Wall-clock seconds for one training epoch on a synthetic dataset."""
-    config = SyntheticConfig(n_dimensions=n_dimensions, n_instances_per_class=n_instances // 2,
-                             series_length=length,
-                             seed_instance_length=max(8, length // 4),
-                             pattern_length=max(4, length // 8), random_state=seed)
-    dataset = make_type1_dataset(config)
-    rng = np.random.default_rng(seed)
-    model = create_model(model_name, dataset.n_dimensions, dataset.length,
-                         dataset.n_classes, rng=rng, **scale.model_kwargs(model_name))
-    training = TrainingConfig(epochs=1, batch_size=scale.training.batch_size,
-                              learning_rate=scale.training.learning_rate,
-                              patience=10, random_state=seed)
-    history = model.fit(dataset.X, dataset.y, config=training)
-    return float(history.epoch_seconds[0])
+def _figure12_options(scale, models, lengths, dimensions, k_values):
+    """Resolve the defaulted option lists shared by spec builder and runner."""
+    models = list(models or ["cnn", "ccnn", "dcnn", "resnet", "dresnet"])
+    lengths = list(lengths or (32, 64))
+    dimensions = list(dimensions or scale.dimension_sweep)
+    if k_values is None:
+        k_values = sorted({2, max(2, scale.k_permutations // 2), scale.k_permutations})
+    return models, lengths, dimensions, list(k_values)
+
+
+def figure12_spec(scale: Optional[ExperimentScale] = None,
+                  models: Optional[Sequence[str]] = None,
+                  lengths: Optional[Sequence[int]] = None,
+                  dimensions: Optional[Sequence[int]] = None,
+                  k_values: Optional[Sequence[int]] = None,
+                  dcam_model: str = "dcnn",
+                  include_convergence: bool = True,
+                  base_seed: int = 0) -> ExperimentSpec:
+    """Timing units for the three panels.
+
+    Unlike the metric sweeps, each timing unit seeds its own generator from
+    ``base_seed`` (the legacy driver threaded a single generator through the
+    panel-(b) loops); timings are machine-dependent either way, the
+    reproduced quantity is the scaling trend.
+    """
+    scale = scale or get_scale("small")
+    models, lengths, dimensions, k_values = _figure12_options(
+        scale, models, lengths, dimensions, k_values)
+    base_dims = dimensions[0]
+    base_length = lengths[0]
+    probe_k = min(scale.k_permutations, 8)
+    units: List[WorkUnit] = []
+    # Panel (a): one-epoch training time vs length and vs dimensions.
+    for model_name in models:
+        for length in lengths:
+            units.append(WorkUnit.create("figure12_epoch_time", model_name=model_name,
+                                         n_dimensions=base_dims, length=length,
+                                         seed=base_seed))
+        for dims in dimensions:
+            units.append(WorkUnit.create("figure12_epoch_time", model_name=model_name,
+                                         n_dimensions=dims, length=base_length,
+                                         seed=base_seed))
+    # Panel (b): dCAM computation time (untrained d-model weights are fine).
+    for dims in dimensions:
+        units.append(WorkUnit.create("figure12_dcam_time", model_name=dcam_model,
+                                     n_dimensions=dims, length=base_length,
+                                     k=probe_k, seed=base_seed))
+    for length in lengths:
+        units.append(WorkUnit.create("figure12_dcam_time", model_name=dcam_model,
+                                     n_dimensions=base_dims, length=length,
+                                     k=probe_k, seed=base_seed))
+    for k in k_values:
+        units.append(WorkUnit.create("figure12_dcam_time", model_name=dcam_model,
+                                     n_dimensions=base_dims, length=base_length,
+                                     k=int(k), seed=base_seed))
+    # Panel (c): convergence (epochs / seconds to 90% of best loss).
+    if include_convergence:
+        for model_name in models:
+            units.append(WorkUnit.create("figure12_convergence", model_name=model_name,
+                                         n_dimensions=base_dims, base_seed=base_seed))
+    return ExperimentSpec(name="figure12", scale=scale, units=tuple(units))
 
 
 def run_figure12(scale: Optional[ExperimentScale] = None,
@@ -93,72 +134,33 @@ def run_figure12(scale: Optional[ExperimentScale] = None,
                  k_values: Optional[Sequence[int]] = None,
                  dcam_model: str = "dcnn",
                  include_convergence: bool = True,
-                 base_seed: int = 0) -> Figure12Result:
-    """Run the Figure 12 timing experiment."""
+                 base_seed: int = 0,
+                 executor: Optional[Executor] = None,
+                 cache: Optional[ResultCache] = None) -> Figure12Result:
+    """Run the Figure 12 timing experiment.
+
+    Note that caching timing units replays recorded wall-clocks, and
+    concurrent workers contend for the CPU the units are timing; keep
+    ``cache=None`` and a serial executor (the defaults) when fresh, faithful
+    measurements matter.
+    """
     scale = scale or get_scale("small")
-    models = list(models or ["cnn", "ccnn", "dcnn", "resnet", "dresnet"])
-    lengths = list(lengths or (32, 64))
-    dimensions = list(dimensions or scale.dimension_sweep)
-    if k_values is None:
-        k_values = sorted({2, max(2, scale.k_permutations // 2), scale.k_permutations})
-    result = Figure12Result(lengths=lengths, dimensions=dimensions, k_values=list(k_values))
-
-    # Panel (a): one-epoch training time.
-    base_dims = dimensions[0]
-    base_length = lengths[0]
+    if isinstance(executor, ParallelExecutor) and executor.workers > 1:
+        warnings.warn("figure12 measures wall-clock timings; concurrent workers "
+                      "contend for the CPU and skew the reported scaling trends",
+                      RuntimeWarning, stacklevel=2)
+    models, lengths, dimensions, k_values = _figure12_options(
+        scale, models, lengths, dimensions, k_values)
+    spec = figure12_spec(scale, models, lengths, dimensions, k_values,
+                         dcam_model, include_convergence, base_seed)
+    results = iter(run_spec(spec, executor=executor, cache=cache))
+    result = Figure12Result(lengths=lengths, dimensions=dimensions, k_values=k_values)
     for model_name in models:
-        result.epoch_time_vs_length[model_name] = [
-            _one_epoch_time(model_name, base_dims, length, scale, seed=base_seed)
-            for length in lengths
-        ]
-        result.epoch_time_vs_dimensions[model_name] = [
-            _one_epoch_time(model_name, dims, base_length, scale, seed=base_seed)
-            for dims in dimensions
-        ]
-
-    # Panel (b): dCAM computation time on an (untrained weights are fine) d-model.
-    rng = np.random.default_rng(base_seed)
-    for dims in dimensions:
-        series = rng.standard_normal((dims, base_length))
-        model = create_model(dcam_model, dims, base_length, 2, rng=rng,
-                             **scale.model_kwargs(dcam_model))
-        explainer = get_explainer(model, k=min(scale.k_permutations, 8), rng=rng,
-                                  batch_size=scale.dcam_batch_size)
-        start = time.perf_counter()
-        explainer.explain(series, 0)
-        result.dcam_time_vs_dimensions.setdefault(dcam_model, []).append(
-            time.perf_counter() - start)
-    for length in lengths:
-        series = rng.standard_normal((base_dims, length))
-        model = create_model(dcam_model, base_dims, length, 2, rng=rng,
-                             **scale.model_kwargs(dcam_model))
-        explainer = get_explainer(model, k=min(scale.k_permutations, 8), rng=rng,
-                                  batch_size=scale.dcam_batch_size)
-        start = time.perf_counter()
-        explainer.explain(series, 0)
-        result.dcam_time_vs_length.setdefault(dcam_model, []).append(
-            time.perf_counter() - start)
-    series = rng.standard_normal((base_dims, base_length))
-    model = create_model(dcam_model, base_dims, base_length, 2, rng=rng,
-                         **scale.model_kwargs(dcam_model))
-    for k in result.k_values:
-        explainer = get_explainer(model, k=k, rng=rng,
-                                  batch_size=scale.dcam_batch_size)
-        start = time.perf_counter()
-        explainer.explain(series, 0)
-        result.dcam_time_vs_k.setdefault(dcam_model, []).append(time.perf_counter() - start)
-
-    # Panel (c): convergence (epochs / seconds to 90% of best loss).
+        result.epoch_time_vs_length[model_name] = [next(results) for _ in lengths]
+        result.epoch_time_vs_dimensions[model_name] = [next(results) for _ in dimensions]
+    result.dcam_time_vs_dimensions[dcam_model] = [next(results) for _ in dimensions]
+    result.dcam_time_vs_length[dcam_model] = [next(results) for _ in lengths]
+    result.dcam_time_vs_k[dcam_model] = [next(results) for _ in k_values]
     if include_convergence:
-        for model_name in models:
-            train, _ = synthetic_train_test("shapes", 1, base_dims, scale, base_seed)
-            trained, history = train_model(model_name, train, scale, random_state=base_seed)
-            epochs_needed = history.epochs_to_fraction_of_best(0.9)
-            seconds = float(np.sum(history.epoch_seconds[:epochs_needed]))
-            result.convergence.append({
-                "model": model_name,
-                "epochs_to_90pct": epochs_needed,
-                "seconds_to_90pct": seconds,
-                "epochs_run": history.epochs_run,
-            })
+        result.convergence = [next(results) for _ in models]
     return result

@@ -30,6 +30,9 @@ from ..data.jigsaws import JigsawsConfig, make_jigsaws_dataset
 from ..data.splits import train_validation_split
 from ..explain.registry import get_explainer
 from ..models.registry import create_model
+from ..runtime import ExperimentSpec, ResultCache, WorkUnit
+from ..runtime import run as run_spec
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
 
@@ -86,17 +89,10 @@ class Figure13Result:
         return "\n".join(lines)
 
 
-def run_figure13(scale: Optional[ExperimentScale] = None,
-                 jigsaws_config: Optional[JigsawsConfig] = None,
-                 model_name: str = "dcnn",
-                 top_k_sensors: int = 6,
-                 top_k_gestures: int = 3,
-                 base_seed: int = 0) -> Figure13Result:
-    """Run the surgeon-skill use case."""
-    scale = scale or get_scale("small")
-    jigsaws_config = jigsaws_config or JigsawsConfig(
-        n_novice=6, n_intermediate=4, n_expert=4, gesture_length=8,
-        random_state=base_seed + 7)
+def compute_figure13(scale: ExperimentScale, jigsaws_config: JigsawsConfig,
+                     model_name: str, top_k_sensors: int, top_k_gestures: int,
+                     base_seed: int) -> Figure13Result:
+    """Evaluate the surgeon-skill use case (the ``figure13_usecase`` work unit)."""
     dataset = make_jigsaws_dataset(jigsaws_config).znormalize()
     # znormalize drops ground truth / metadata copies only of arrays; metadata persists.
     train, test = train_validation_split(dataset, 0.75, random_state=base_seed)
@@ -132,3 +128,35 @@ def run_figure13(scale: Optional[ExperimentScale] = None,
     result.top_gestures = top_discriminant_segments(dcam_results, novice_segments,
                                                     top_k=top_k_gestures)
     return result
+
+
+def figure13_spec(scale: Optional[ExperimentScale] = None,
+                  jigsaws_config: Optional[JigsawsConfig] = None,
+                  model_name: str = "dcnn",
+                  top_k_sensors: int = 6,
+                  top_k_gestures: int = 3,
+                  base_seed: int = 0) -> ExperimentSpec:
+    """The use case as a single coarse work unit (train + explain + aggregate)."""
+    scale = scale or get_scale("small")
+    jigsaws_config = jigsaws_config or JigsawsConfig(
+        n_novice=6, n_intermediate=4, n_expert=4, gesture_length=8,
+        random_state=base_seed + 7)
+    unit = WorkUnit.create("figure13_usecase", jigsaws=jigsaws_config,
+                           model_name=model_name, top_k_sensors=top_k_sensors,
+                           top_k_gestures=top_k_gestures, base_seed=base_seed)
+    return ExperimentSpec(name="figure13", scale=scale, units=(unit,))
+
+
+def run_figure13(scale: Optional[ExperimentScale] = None,
+                 jigsaws_config: Optional[JigsawsConfig] = None,
+                 model_name: str = "dcnn",
+                 top_k_sensors: int = 6,
+                 top_k_gestures: int = 3,
+                 base_seed: int = 0,
+                 executor: Optional[Executor] = None,
+                 cache: Optional[ResultCache] = None) -> Figure13Result:
+    """Run the surgeon-skill use case."""
+    scale = scale or get_scale("small")
+    spec = figure13_spec(scale, jigsaws_config, model_name, top_k_sensors,
+                         top_k_gestures, base_seed)
+    return run_spec(spec, executor=executor, cache=cache)[0]

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..runtime import ResultCache
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
 from .table2 import Table2Result, run_table2
@@ -67,8 +69,15 @@ class Figure8Result:
 def run_figure8(scale: Optional[ExperimentScale] = None,
                 dataset_names: Optional[Sequence[str]] = None,
                 pairs: Optional[Dict[str, List[str]]] = None,
-                base_seed: int = 0) -> Figure8Result:
-    """Run the Figure 8 experiment (reuses the Table 2 protocol)."""
+                base_seed: int = 0,
+                executor: Optional[Executor] = None,
+                cache: Optional[ResultCache] = None) -> Figure8Result:
+    """Run the Figure 8 experiment (reuses the Table 2 protocol).
+
+    With a shared ``cache``, the underlying ``uea_cell`` units are the same
+    content-addressed work Table 2 emits, so a prior :func:`run_table2` at
+    matching settings makes this driver train nothing.
+    """
     scale = scale or get_scale("small")
     pairs = pairs or {
         d_model: [b for b in baselines if b in scale.table2_models or d_model in scale.table2_models]
@@ -77,7 +86,8 @@ def run_figure8(scale: Optional[ExperimentScale] = None,
     }
     needed_models = sorted({model for d_model, baselines in pairs.items()
                             for model in [d_model, *baselines]})
-    table2 = run_table2(scale, dataset_names, models=needed_models, base_seed=base_seed)
+    table2 = run_table2(scale, dataset_names, models=needed_models, base_seed=base_seed,
+                        executor=executor, cache=cache)
     result = Figure8Result(table2=table2)
     for d_model, baselines in pairs.items():
         for baseline in baselines:

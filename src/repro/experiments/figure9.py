@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..eval.metrics import harmonic_mean
+from ..runtime import ResultCache
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_series
 from .table3 import Table3Result, run_table3
@@ -65,13 +67,21 @@ def run_figure9(scale: Optional[ExperimentScale] = None,
                 seed_name: str = "starlight",
                 dimensions: Optional[Sequence[int]] = None,
                 models: Optional[Sequence[str]] = None,
-                base_seed: int = 0) -> Figure9Result:
-    """Run the Figure 9 experiment."""
+                base_seed: int = 0,
+                executor: Optional[Executor] = None,
+                cache: Optional[ResultCache] = None) -> Figure9Result:
+    """Run the Figure 9 experiment.
+
+    The driver emits the same ``synthetic_cell`` units as Table 3, so a
+    shared ``cache`` from a prior :func:`run_table3` at matching settings
+    turns the whole dimension sweep into cache hits.
+    """
     scale = scale or get_scale("small")
     dimensions = list(dimensions or scale.dimension_sweep)
     models = list(models or scale.table3_models)
     table3 = run_table3(scale, seeds=[seed_name], dataset_types=(1, 2),
-                        dimensions=dimensions, models=models, base_seed=base_seed)
+                        dimensions=dimensions, models=models, base_seed=base_seed,
+                        executor=executor, cache=cache)
     result = Figure9Result(dimensions=dimensions, models=models, table3=table3)
     for dataset_type in (1, 2):
         result.c_acc[dataset_type] = {model: {} for model in models}

@@ -15,7 +15,16 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequenc
     """Render a list of dict rows as an aligned text table."""
     if not rows:
         return title or "(empty table)"
-    columns = list(columns) if columns is not None else list(rows[0].keys())
+    if columns is not None:
+        columns = list(columns)
+    else:
+        # Ordered union of every row's keys: columns appearing only in later
+        # rows (e.g. metrics measured for a subset of models) still render.
+        seen: Dict[object, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
 
     def render(value: object) -> str:
         if isinstance(value, float):

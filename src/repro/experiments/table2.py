@@ -13,12 +13,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
-from ..data.splits import train_validation_split
-from ..data.uea import make_uea_dataset
 from ..eval.ranking import average_ranks, mean_scores
+from ..runtime import ExperimentSpec, ResultCache, WorkUnit
+from ..runtime import run as run_spec
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
-from .runner import averaged_over_runs, classification_accuracy_of, train_model
+from .runner import averaged_over_runs
 
 
 @dataclass
@@ -58,10 +59,47 @@ class Table2Result:
                             title="Table 2 — C-acc over (simulated) UCR/UEA datasets")
 
 
+#: Representative UEA subset evaluated by default at reduced scales.
+DEFAULT_TABLE2_DATASETS = ("BasicMotions", "RacketSports", "Epilepsy")
+
+
+def _table2_options(scale, dataset_names, models):
+    """Resolve the defaulted option lists shared by spec builder and runner."""
+    models = list(models or scale.table2_models)
+    dataset_names = list(dataset_names if dataset_names is not None
+                         else DEFAULT_TABLE2_DATASETS)
+    return dataset_names, models
+
+
+def table2_spec(scale: Optional[ExperimentScale] = None,
+                dataset_names: Optional[Sequence[str]] = None,
+                models: Optional[Sequence[str]] = None,
+                base_seed: int = 0) -> ExperimentSpec:
+    """Declarative description of the Table 2 sweep.
+
+    One ``uea_cell`` unit per (dataset, model, run) with the legacy seed
+    derivations: the train/validation split is seeded ``base_seed +
+    dataset_index``, each training run ``base_seed + 100*dataset_index + run``.
+    """
+    scale = scale or get_scale("small")
+    dataset_names, models = _table2_options(scale, dataset_names, models)
+    units: List[WorkUnit] = []
+    for dataset_index, dataset_name in enumerate(dataset_names):
+        for model_name in models:
+            for run in range(scale.n_runs):
+                units.append(WorkUnit.create(
+                    "uea_cell", dataset_name=dataset_name, model_name=model_name,
+                    split_seed=base_seed + dataset_index,
+                    run_seed=base_seed + 100 * dataset_index + run))
+    return ExperimentSpec(name="table2", scale=scale, units=tuple(units))
+
+
 def run_table2(scale: Optional[ExperimentScale] = None,
                dataset_names: Optional[Sequence[str]] = None,
                models: Optional[Sequence[str]] = None,
-               base_seed: int = 0) -> Table2Result:
+               base_seed: int = 0,
+               executor: Optional[Executor] = None,
+               cache: Optional[ResultCache] = None) -> Table2Result:
     """Run the Table 2 experiment.
 
     Parameters
@@ -73,27 +111,24 @@ def run_table2(scale: Optional[ExperimentScale] = None,
         reduced scales — pass :data:`repro.data.UEA_DATASET_NAMES` for all 23).
     models:
         Architectures to evaluate (defaults to the scale's ``table2_models``).
+    executor, cache:
+        Where cells run and whether they are reused — see
+        :func:`repro.runtime.run`.
     """
     scale = scale or get_scale("small")
-    models = list(models or scale.table2_models)
-    if dataset_names is None:
-        dataset_names = ["BasicMotions", "RacketSports", "Epilepsy"]
+    dataset_names, models = _table2_options(scale, dataset_names, models)
+    spec = table2_spec(scale, dataset_names, models, base_seed)
+    results = iter(run_spec(spec, executor=executor, cache=cache))
+
     result = Table2Result(models=models)
-    for dataset_index, dataset_name in enumerate(dataset_names):
-        dataset = make_uea_dataset(dataset_name, scale.uea)
-        train, test = train_validation_split(dataset, 0.75,
-                                             random_state=base_seed + dataset_index)
-        n_classes, length, n_dims = dataset.metadata["scaled_metadata"]
-        result.metadata[dataset_name] = {
-            "classes": n_classes, "length": length, "dimensions": n_dims,
-        }
+    for dataset_name in dataset_names:
         scores: Dict[str, float] = {}
         for model_name in models:
             run_scores = []
-            for run in range(scale.n_runs):
-                seed = base_seed + 100 * dataset_index + run
-                model, _ = train_model(model_name, train, scale, random_state=seed)
-                run_scores.append(classification_accuracy_of(model, test))
+            for _ in range(scale.n_runs):
+                cell = next(results)
+                run_scores.append(cell["c_acc"])
+                result.metadata.setdefault(dataset_name, cell["metadata"])
             scores[model_name] = averaged_over_runs(run_scores)
         result.accuracies[dataset_name] = scores
     return result

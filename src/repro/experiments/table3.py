@@ -15,16 +15,12 @@ from typing import Dict, List, Optional, Sequence
 
 
 from ..eval.ranking import average_ranks
+from ..runtime import ExperimentSpec, ResultCache, WorkUnit
+from ..runtime import run as run_spec
+from ..runtime.executor import Executor
 from .config import ExperimentScale, get_scale
 from .reporting import format_table
-from .runner import (
-    averaged_over_runs,
-    classification_accuracy_of,
-    explanation_accuracy_of,
-    random_explanation_accuracy,
-    synthetic_train_test,
-    train_model,
-)
+from .runner import averaged_over_runs
 
 
 @dataclass
@@ -80,37 +76,83 @@ class Table3Result:
         return table + "\n".join(rank_lines)
 
 
+def _table3_options(scale, seeds, dimensions, models):
+    """Resolve the defaulted option lists shared by spec builder and runner."""
+    seeds = list(seeds or scale.synthetic_seeds)
+    dimensions = list(dimensions or scale.dimension_sweep)
+    models = list(models or scale.table3_models)
+    return seeds, dimensions, models
+
+
+def table3_spec(scale: Optional[ExperimentScale] = None,
+                seeds: Optional[Sequence[str]] = None,
+                dataset_types: Sequence[int] = (1, 2),
+                dimensions: Optional[Sequence[int]] = None,
+                models: Optional[Sequence[str]] = None,
+                base_seed: int = 0) -> ExperimentSpec:
+    """Declarative description of the Table 3 sweep.
+
+    One ``synthetic_random_baseline`` unit per (seed dataset, type, D)
+    configuration plus one ``synthetic_cell`` unit per (configuration, model,
+    run).  The per-unit seeds (``config_seed = base_seed + 1000*seed_index +
+    100*type + D``, ``run_seed = config_seed + run``) reproduce the legacy
+    serial loops exactly, so any executor yields identical numbers.
+    """
+    scale = scale or get_scale("small")
+    seeds, dimensions, models = _table3_options(scale, seeds, dimensions, models)
+    units: List[WorkUnit] = []
+    for seed_index, seed_name in enumerate(seeds):
+        for dataset_type in dataset_types:
+            for n_dimensions in dimensions:
+                config_seed = base_seed + 1000 * seed_index + 100 * dataset_type + n_dimensions
+                units.append(WorkUnit.create(
+                    "synthetic_random_baseline", seed_name=seed_name,
+                    dataset_type=dataset_type, n_dimensions=n_dimensions,
+                    config_seed=config_seed))
+                for model_name in models:
+                    for run in range(scale.n_runs):
+                        units.append(WorkUnit.create(
+                            "synthetic_cell", seed_name=seed_name,
+                            dataset_type=dataset_type, n_dimensions=n_dimensions,
+                            model_name=model_name, config_seed=config_seed,
+                            run_seed=config_seed + run))
+    return ExperimentSpec(name="table3", scale=scale, units=tuple(units))
+
+
 def run_table3(scale: Optional[ExperimentScale] = None,
                seeds: Optional[Sequence[str]] = None,
                dataset_types: Sequence[int] = (1, 2),
                dimensions: Optional[Sequence[int]] = None,
                models: Optional[Sequence[str]] = None,
-               base_seed: int = 0) -> Table3Result:
-    """Run the Table 3 experiment at the requested scale."""
+               base_seed: int = 0,
+               executor: Optional[Executor] = None,
+               cache: Optional[ResultCache] = None) -> Table3Result:
+    """Run the Table 3 experiment at the requested scale.
+
+    ``executor`` selects where the (configuration, model, run) cells are
+    evaluated (serial by default, a process pool via
+    :class:`repro.runtime.ParallelExecutor`); ``cache`` reuses cells across
+    drivers sharing this protocol (e.g. Figure 9).
+    """
     scale = scale or get_scale("small")
-    seeds = list(seeds or scale.synthetic_seeds)
-    dimensions = list(dimensions or scale.dimension_sweep)
-    models = list(models or scale.table3_models)
+    seeds, dimensions, models = _table3_options(scale, seeds, dimensions, models)
+    spec = table3_spec(scale, seeds, dataset_types, dimensions, models, base_seed)
+    results = iter(run_spec(spec, executor=executor, cache=cache))
+
     result = Table3Result(models=models)
-    for seed_index, seed_name in enumerate(seeds):
+    for seed_name in seeds:
         for dataset_type in dataset_types:
             for n_dimensions in dimensions:
                 row = Table3Row(seed_name, dataset_type, n_dimensions)
-                config_seed = base_seed + 1000 * seed_index + 100 * dataset_type + n_dimensions
-                train, test = synthetic_train_test(seed_name, dataset_type,
-                                                   n_dimensions, scale, config_seed)
-                row.random_dr_acc = random_explanation_accuracy(test, scale)
+                row.random_dr_acc = next(results)
                 for model_name in models:
                     c_scores, d_scores, ratios = [], [], []
-                    for run in range(scale.n_runs):
-                        run_seed = config_seed + run
-                        model, _ = train_model(model_name, train, scale, random_state=run_seed)
-                        c_scores.append(classification_accuracy_of(model, test))
-                        dr_score, ratio = explanation_accuracy_of(model, model_name, test,
-                                                                  scale, random_state=run_seed)
-                        d_scores.append(dr_score)
-                        if ratio is not None:
-                            ratios.append(ratio)
+                    for _ in range(scale.n_runs):
+                        cell = next(results)
+                        c_scores.append(cell["c_acc"])
+                        d_scores.append(cell["dr_acc"])
+                        if cell["success_ratio"] is not None:
+                            ratios.append(cell["success_ratio"])
                     row.c_acc[model_name] = averaged_over_runs(c_scores)
                     row.dr_acc[model_name] = averaged_over_runs(d_scores)
                     if ratios:

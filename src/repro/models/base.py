@@ -96,6 +96,11 @@ class BaseClassifier(Module):
     #: architecture ("cam", "gradcam" or "dcam"); ``None`` for architectures
     #: without an explanation method (the recurrent baselines).
     explainer_family: Optional[str] = None
+    #: Which constructor-kwargs family this architecture belongs to ("cnn",
+    #: "resnet", "inception", "recurrent" or "mtex") — the key
+    #: :meth:`repro.experiments.config.ExperimentScale.model_kwargs` uses to
+    #: pick the width preset; ``None`` means "takes no scale kwargs".
+    kwargs_family: Optional[str] = None
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  rng: Optional[np.random.Generator] = None) -> None:

@@ -47,6 +47,7 @@ class CNNClassifier(ConvBackboneClassifier):
     """Standard 1D CNN whose first-layer kernels span all dimensions."""
 
     input_kind = "raw"
+    kwargs_family = "cnn"
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  filters: Sequence[int] = PAPER_CNN_FILTERS, kernel_size: int = 3,
@@ -67,6 +68,8 @@ class CNNClassifier(ConvBackboneClassifier):
 class CCNNClassifier(ChannelInputMixin, ConvBackboneClassifier):
     """cCNN baseline: 2D CNN whose ``(1, ℓ)`` kernels never compare dimensions."""
 
+    kwargs_family = "cnn"
+
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  filters: Sequence[int] = PAPER_CNN_FILTERS, kernel_size: int = 3,
                  rng: Optional[np.random.Generator] = None) -> None:
@@ -85,6 +88,8 @@ class CCNNClassifier(ChannelInputMixin, ConvBackboneClassifier):
 
 class DCNNClassifier(CubeInputMixin, ConvBackboneClassifier):
     """dCNN: the paper's architecture operating on the ``C(T)`` cube."""
+
+    kwargs_family = "cnn"
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  filters: Sequence[int] = PAPER_CNN_FILTERS, kernel_size: int = 3,

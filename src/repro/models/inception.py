@@ -85,6 +85,7 @@ class InceptionModule(Module):
 class _InceptionTimeBase(ConvBackboneClassifier):
     """Shared trunk builder for the three InceptionTime variants."""
 
+    kwargs_family = "inception"
     two_dimensional: bool = False
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,

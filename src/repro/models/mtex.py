@@ -32,6 +32,7 @@ class MTEXCNNClassifier(BaseClassifier):
     input_kind = "channel"
     supports_cam = False  # explanation uses grad-CAM, not GAP-based CAM
     explainer_family = "gradcam"
+    kwargs_family = "mtex"
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  block1_filters: Tuple[int, int] = (16, 32), block2_filters: int = 32,

@@ -26,6 +26,7 @@ class _RecurrentClassifier(BaseClassifier):
     cell_type: str = "rnn"
     input_kind = "raw"
     supports_cam = False
+    kwargs_family = "recurrent"
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  hidden_size: int = PAPER_RECURRENT_HIDDEN,

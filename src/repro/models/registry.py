@@ -72,6 +72,22 @@ def explainer_family_of_model(name: str) -> Optional[str]:
     return getattr(MODEL_REGISTRY[key], "explainer_family", None)
 
 
+def kwargs_family_of_model(name: str) -> Optional[str]:
+    """The ``kwargs_family`` declared by the architecture named ``name``.
+
+    The constructor-kwargs family ("cnn", "resnet", "inception", "recurrent"
+    or "mtex") picks which width preset of an
+    :class:`~repro.experiments.config.ExperimentScale` applies; ``None``
+    means the architecture takes no scale kwargs.  Replaces the old
+    string-suffix heuristics (``name.endswith("cnn")``, ...), mirroring the
+    ``explainer_family`` de-stringing.
+    """
+    key = _normalize(name)
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    return getattr(MODEL_REGISTRY[key], "kwargs_family", None)
+
+
 def models_with_explainer_family(family: str,
                                  names: Optional[List[str]] = None) -> List[str]:
     """Model names served by explanation ``family`` ("cam"/"gradcam"/"dcam").

@@ -73,6 +73,7 @@ class ResidualBlock(Module):
 class _ResNetBase(ConvBackboneClassifier):
     """Shared trunk builder for the three ResNet variants."""
 
+    kwargs_family = "resnet"
     two_dimensional: bool = False
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,

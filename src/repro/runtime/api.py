@@ -1,0 +1,72 @@
+"""The ``repro.run`` facade: evaluate an :class:`ExperimentSpec`.
+
+``run(spec)`` is the single entry point every experiment driver goes
+through.  It resolves cached units, fans the misses out through the chosen
+executor (serial by default, a process pool via
+:class:`~repro.runtime.executor.ParallelExecutor`) and returns results in
+unit order, so a driver is just a spec-builder plus a result-assembler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .cache import ResultCache
+from .executor import Executor, SerialExecutor
+from .registry import execute_payload
+from .spec import ExperimentSpec
+
+
+def run(spec: ExperimentSpec,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None) -> List[Any]:
+    """Evaluate every unit of ``spec`` and return results in unit order.
+
+    Parameters
+    ----------
+    spec:
+        The declarative description of the experiment (scale + work units).
+    executor:
+        Where units are evaluated; defaults to :class:`SerialExecutor`.
+        Units never share state, so any executor yields identical numbers.
+    cache:
+        Optional content-addressed :class:`ResultCache`.  Hits skip
+        execution entirely; misses are stored *as they complete* (via the
+        executor's ordered ``imap`` when it provides one), so an interrupted
+        or partially-failed sweep keeps every finished unit's result.
+    """
+    executor = executor or SerialExecutor()
+    results: List[Any] = [None] * len(spec.units)
+    pending_indices: List[int] = []
+
+    if cache is not None:
+        fingerprints = spec.fingerprints()
+        for index, key in enumerate(fingerprints):
+            hit, value = cache.lookup(key)
+            if hit:
+                results[index] = value
+            else:
+                pending_indices.append(index)
+    else:
+        fingerprints = None
+        pending_indices = list(range(len(spec.units)))
+
+    if pending_indices:
+        # Specs may legitimately repeat a unit (e.g. Figure 12's base-config
+        # timing appears in two panels); evaluate each distinct unit once and
+        # fan its result out to every position.
+        distinct: "dict[Any, List[int]]" = {}
+        for index in pending_indices:
+            distinct.setdefault(spec.units[index], []).append(index)
+        payloads = [(spec.scale, unit) for unit in distinct]
+        imap = getattr(executor, "imap", None)
+        if imap is not None:
+            computed = imap(execute_payload, payloads)
+        else:  # executors only providing the barrier-style map
+            computed = iter(executor.map(execute_payload, payloads))
+        for indices, result in zip(distinct.values(), computed):
+            for index in indices:
+                results[index] = result
+            if cache is not None:
+                cache.store(fingerprints[indices[0]], result)
+    return results

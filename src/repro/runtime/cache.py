@@ -1,0 +1,112 @@
+"""Content-addressed result cache for work units.
+
+Results are keyed by the unit fingerprint (SHA-256 over the experiment scale,
+the work kind and the unit parameters — see
+:func:`repro.runtime.spec.unit_fingerprint`) and stored as pickle blobs, in
+memory and optionally on disk.  Storing the *bytes* rather than the live
+object keeps hits byte-identical to cold runs and immune to accidental
+mutation of a previously returned result.
+
+Because the fingerprint covers everything that determines a result, drivers
+that share a protocol share entries: Figure 9 re-running the Table 3 sweep
+through the same cache performs no training at all.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (reset with :meth:`ResultCache.reset_stats`)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class ResultCache:
+    """In-memory (and optionally on-disk) content-addressed result store.
+
+    Parameters
+    ----------
+    directory:
+        If given, every entry is also persisted as
+        ``<directory>/<fingerprint>.pkl`` and lookups fall back to disk, so
+        the cache survives across processes and CLI invocations.
+    """
+
+    directory: Optional[str] = None
+    _memory: Dict[str, bytes] = field(default_factory=dict, repr=False)
+    stats: CacheStats = field(default_factory=CacheStats, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.directory:
+            os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """The stored pickle bytes for ``key`` (None on miss); counts stats."""
+        blob = self._memory.get(key)
+        if blob is None and self.directory:
+            path = self._path(key)
+            if os.path.exists(path):
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+                self._memory[key] = blob
+        if blob is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return blob
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, result)`` for ``key``; the result is a fresh unpickle."""
+        blob = self.get_blob(key)
+        if blob is None:
+            return False, None
+        return True, pickle.loads(blob)
+
+    def store(self, key: str, result: Any) -> bytes:
+        """Pickle ``result`` under ``key``; returns the stored bytes."""
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._memory[key] = blob
+        if self.directory:
+            # Write-then-rename so concurrent CLI runs never read a torn file.
+            fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_path, self._path(key))
+            finally:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+        self.stats.stores += 1
+        return blob
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return bool(self.directory) and os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.directory:
+            keys.update(name[:-len(".pkl")] for name in os.listdir(self.directory)
+                        if name.endswith(".pkl"))
+        return len(keys)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

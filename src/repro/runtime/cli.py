@@ -1,0 +1,336 @@
+"""``python -m repro`` — run the paper's experiment suite from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run table3 --scale tiny --workers 4 --json out.json
+    python -m repro run figure9 --scale small --workers 8 --cache-dir .repro-cache
+    python -m repro run table3 --models resnet,dcnn --dimensions 4 --epochs 5
+
+Every experiment goes through the :mod:`repro.runtime` job-graph executor:
+``--workers N`` fans the independent (dataset, model, seed) cells out over a
+process pool (serial and parallel runs produce identical numbers), and
+``--cache-dir`` enables the content-addressed result cache so drivers sharing
+a protocol (Table 3 / Figure 9, Table 2 / Figure 8) and repeated invocations
+reuse trained-model results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from .cache import ResultCache
+from .executor import Executor, executor_label, make_executor
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One CLI-runnable experiment: driver adapter + JSON projection."""
+
+    name: str
+    description: str
+    run: Callable[[Any, argparse.Namespace, Executor, Optional[ResultCache]], Any]
+    to_json: Callable[[Any], Any]
+    format: Callable[[Any], str]
+    #: Which of the filter flags (--models/--dimensions/--seeds/--datasets)
+    #: this experiment consumes; others are rejected rather than silently
+    #: ignored.
+    options: frozenset = frozenset()
+
+
+def _csv(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _csv_ints(value: Optional[str]) -> Optional[List[int]]:
+    items = _csv(value)
+    return None if items is None else [int(item) for item in items]
+
+
+def _series_json(result) -> Dict[str, Any]:
+    """Figure 9 result → JSON-friendly nested dicts."""
+    return {
+        "dimensions": result.dimensions,
+        "models": result.models,
+        "c_acc": {str(dataset_type): mapping
+                  for dataset_type, mapping in result.c_acc.items()},
+        "dr_acc": {str(dataset_type): mapping
+                   for dataset_type, mapping in result.dr_acc.items()},
+    }
+
+
+def _figure10_json(result) -> Dict[str, Any]:
+    return {
+        "k_values": result.k_values,
+        "curves": {f"{model}-type{dataset_type}-D{dims}": values
+                   for (model, dataset_type, dims), values in result.curves.items()},
+        "k_to_90pct": {f"{model}-type{dataset_type}-D{dims}": int(needed)
+                       for (model, dataset_type, dims), needed
+                       in result.permutations_to_reach().items()},
+    }
+
+
+def _figure12_json(result) -> Dict[str, Any]:
+    return {
+        "lengths": result.lengths,
+        "dimensions": result.dimensions,
+        "k_values": result.k_values,
+        "epoch_time_vs_length": result.epoch_time_vs_length,
+        "epoch_time_vs_dimensions": result.epoch_time_vs_dimensions,
+        "dcam_time_vs_dimensions": result.dcam_time_vs_dimensions,
+        "dcam_time_vs_length": result.dcam_time_vs_length,
+        "dcam_time_vs_k": result.dcam_time_vs_k,
+        "convergence": result.convergence,
+    }
+
+
+def _figure13_json(result) -> Dict[str, Any]:
+    return {
+        "train_accuracy": result.train_accuracy,
+        "test_accuracy": result.test_accuracy,
+        "top_sensors": [result.sensor_names[s] for s in result.top_sensors],
+        "top_gestures": [[gesture, float(score)]
+                         for gesture, score in result.top_gestures],
+        "sensor_recovery_rate": result.sensor_recovery_rate(),
+        "gesture_recovery_rate": result.gesture_recovery_rate(),
+    }
+
+
+def _experiment_table() -> Dict[str, ExperimentEntry]:
+    """Build the name → entry table (imports the drivers lazily)."""
+    from ..experiments import (
+        run_extraction_ablation,
+        run_figure8,
+        run_figure9,
+        run_figure10,
+        run_figure11,
+        run_figure12,
+        run_figure13,
+        run_ng_filter_ablation,
+        run_table2,
+        run_table3,
+    )
+
+    return {
+        "table2": ExperimentEntry(
+            "table2", "C-acc over (simulated) UCR/UEA datasets",
+            lambda scale, args, ex, cache: run_table2(
+                scale, dataset_names=_csv(args.datasets), models=_csv(args.models),
+                base_seed=args.base_seed, executor=ex, cache=cache),
+            lambda result: result.as_rows(),
+            lambda result: result.format(),
+            options=frozenset({"models", "datasets"})),
+        "table3": ExperimentEntry(
+            "table3", "C-acc and Dr-acc on the synthetic Type 1 / Type 2 benchmarks",
+            lambda scale, args, ex, cache: run_table3(
+                scale, seeds=_csv(args.seeds), dimensions=_csv_ints(args.dimensions),
+                models=_csv(args.models), base_seed=args.base_seed,
+                executor=ex, cache=cache),
+            lambda result: result.as_rows(),
+            lambda result: result.format(),
+            options=frozenset({"models", "dimensions", "seeds"})),
+        "figure8": ExperimentEntry(
+            "figure8", "d-architectures vs counterparts scatter (Table 2 protocol)",
+            lambda scale, args, ex, cache: run_figure8(
+                scale, dataset_names=_csv(args.datasets),
+                base_seed=args.base_seed, executor=ex, cache=cache),
+            lambda result: result.as_rows(),
+            lambda result: result.format(),
+            options=frozenset({"datasets"})),
+        "figure9": ExperimentEntry(
+            "figure9", "C-acc / Dr-acc vs number of dimensions (Table 3 protocol)",
+            lambda scale, args, ex, cache: run_figure9(
+                scale, dimensions=_csv_ints(args.dimensions), models=_csv(args.models),
+                base_seed=args.base_seed, executor=ex, cache=cache),
+            _series_json,
+            lambda result: result.format(),
+            options=frozenset({"models", "dimensions"})),
+        "figure10": ExperimentEntry(
+            "figure10", "Dr-acc vs number of permutations k",
+            lambda scale, args, ex, cache: run_figure10(
+                scale, dimensions=_csv_ints(args.dimensions), models=_csv(args.models),
+                base_seed=args.base_seed, executor=ex, cache=cache),
+            _figure10_json,
+            lambda result: result.format(),
+            options=frozenset({"models", "dimensions"})),
+        "figure11": ExperimentEntry(
+            "figure11", "C-acc / Dr-acc / ng-over-k relations per configuration",
+            lambda scale, args, ex, cache: run_figure11(
+                scale, models=_csv(args.models), seeds=_csv(args.seeds),
+                dimensions=_csv_ints(args.dimensions),
+                base_seed=args.base_seed, executor=ex, cache=cache),
+            lambda result: result.as_rows(),
+            lambda result: result.format(),
+            options=frozenset({"models", "seeds", "dimensions"})),
+        "figure12": ExperimentEntry(
+            "figure12", "training / dCAM execution-time panels",
+            lambda scale, args, ex, cache: run_figure12(
+                scale, models=_csv(args.models), dimensions=_csv_ints(args.dimensions),
+                base_seed=args.base_seed, executor=ex, cache=cache),
+            _figure12_json,
+            lambda result: result.format(),
+            options=frozenset({"models", "dimensions"})),
+        "figure13": ExperimentEntry(
+            "figure13", "surgeon-skill use case (simulated JIGSAWS)",
+            lambda scale, args, ex, cache: run_figure13(
+                scale, base_seed=args.base_seed, executor=ex, cache=cache),
+            _figure13_json,
+            lambda result: result.format()),
+        "ablation-extraction": ExperimentEntry(
+            "ablation-extraction", "dCAM extraction-rule ablation",
+            lambda scale, args, ex, cache: run_extraction_ablation(
+                scale, base_seed=args.base_seed, executor=ex, cache=cache),
+            lambda result: result.rows,
+            lambda result: result.format("Ablation — dCAM extraction rules")),
+        "ablation-ng-filter": ExperimentEntry(
+            "ablation-ng-filter", "dCAM permutation-filter ablation",
+            lambda scale, args, ex, cache: run_ng_filter_ablation(
+                scale, base_seed=args.base_seed, executor=ex, cache=cache),
+            lambda result: result.rows,
+            lambda result: result.format("Ablation — ng/k permutation filter")),
+    }
+
+
+def _build_scale(args: argparse.Namespace):
+    from ..experiments import get_scale
+
+    scale = get_scale(args.scale, random_state=args.random_state)
+    overrides = {}
+    if args.n_runs is not None:
+        overrides["n_runs"] = args.n_runs
+    if args.k is not None:
+        overrides["k_permutations"] = args.k
+    if args.epochs is not None:
+        overrides["training"] = replace(scale.training, epochs=args.epochs)
+    return scale.with_overrides(**overrides) if overrides else scale
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", metavar="EXPERIMENT",
+                        help="experiment name (see `python -m repro list`)")
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "paper"],
+                        help="experiment scale preset (default: small)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes; >1 enables the parallel executor")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="write the result (plus run metadata) as JSON")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="enable the content-addressed result cache, persisted here")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="base seed the per-unit seeds derive from (default: 0)")
+    parser.add_argument("--random-state", type=int, default=0,
+                        help="random state baked into the scale preset (default: 0)")
+    parser.add_argument("--models", metavar="A,B,...",
+                        help="comma-separated model subset (driver-dependent)")
+    parser.add_argument("--dimensions", metavar="D1,D2,...",
+                        help="comma-separated dimension sweep (driver-dependent)")
+    parser.add_argument("--seeds", metavar="NAME,...",
+                        help="comma-separated synthetic seed datasets (driver-dependent)")
+    parser.add_argument("--datasets", metavar="NAME,...",
+                        help="comma-separated UEA dataset names (table2 / figure8)")
+    parser.add_argument("--n-runs", type=int, metavar="N",
+                        help="override the scale's train/evaluate repetitions")
+    parser.add_argument("--k", type=int, metavar="K",
+                        help="override the scale's dCAM permutation count")
+    parser.add_argument("--epochs", type=int, metavar="N",
+                        help="override the scale's training epochs")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the formatted table/figure output")
+
+
+def _command_list() -> int:
+    entries = _experiment_table()
+    width = max(len(name) for name in entries)
+    print("Available experiments (python -m repro run <name> [options]):")
+    for name, entry in entries.items():
+        print(f"  {name.ljust(width)}  {entry.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    entries = _experiment_table()
+    if args.experiment not in entries:
+        print(f"error: unknown experiment {args.experiment!r}; "
+              f"choose from: {', '.join(entries)}", file=sys.stderr)
+        return 2
+    entry = entries[args.experiment]
+    # Reject filter flags this experiment does not consume — silently
+    # ignoring them would run (and label) the default configuration.
+    unsupported = [f"--{name}" for name in ("models", "dimensions", "seeds", "datasets")
+                   if getattr(args, name) is not None and name not in entry.options]
+    if unsupported:
+        supported = ", ".join(f"--{name}" for name in sorted(entry.options)) or "none"
+        print(f"error: {entry.name} does not support {', '.join(unsupported)} "
+              f"(supported filter flags: {supported})", file=sys.stderr)
+        return 2
+    scale = _build_scale(args)
+    executor = make_executor(args.workers)
+    cache = ResultCache(directory=args.cache_dir) if args.cache_dir else None
+
+    print(f"[repro] running {entry.name} at scale={scale.name} "
+          f"executor={executor_label(executor)}"
+          + (f" cache={args.cache_dir}" if args.cache_dir else ""),
+          file=sys.stderr)
+    start = time.perf_counter()
+    result = entry.run(scale, args, executor, cache)
+    elapsed = time.perf_counter() - start
+    cache_line = ""
+    if cache is not None:
+        cache_line = (f" cache hits={cache.stats.hits}"
+                      f" misses={cache.stats.misses}")
+    print(f"[repro] {entry.name} finished in {elapsed:.2f}s{cache_line}",
+          file=sys.stderr)
+
+    if not args.quiet:
+        print(entry.format(result))
+
+    if args.json_path:
+        json_dir = os.path.dirname(args.json_path)
+        if json_dir:
+            os.makedirs(json_dir, exist_ok=True)
+        record = {
+            "experiment": entry.name,
+            "scale": scale.name,
+            "workers": args.workers,
+            "base_seed": args.base_seed,
+            "elapsed_seconds": elapsed,
+            "cache": (None if cache is None else
+                      {"hits": cache.stats.hits, "misses": cache.stats.misses}),
+            "result": entry.to_json(result),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"[repro] JSON written to {args.json_path}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="dCAM reproduction experiment suite "
+                    "(declarative job-graph runtime).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list the runnable experiments")
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment",
+        description="Run one table/figure driver through the repro.runtime "
+                    "executor.")
+    _add_run_arguments(run_parser)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    return _command_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

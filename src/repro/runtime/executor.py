@@ -1,0 +1,121 @@
+"""Executors: the strategy deciding *where* work units are evaluated.
+
+The :class:`Executor` protocol is a single order-preserving ``map``.  Two
+implementations ship:
+
+* :class:`SerialExecutor` — in-process, zero overhead, the default; and
+* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out over the embarrassingly parallel (dataset, model, seed) cells.
+
+Because every work unit derives its RNGs from its own parameters (never from
+shared mutable state), the two executors produce bit-identical results; the
+test suite asserts exact float equality between them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything with an order-preserving ``map(fn, payloads)``."""
+
+    def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:
+        ...  # pragma: no cover
+
+
+class SerialExecutor:
+    """Evaluate payloads one after the other in the calling process."""
+
+    def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        """Ordered lazy results — lets callers act on each one as it lands."""
+        for payload in payloads:
+            yield fn(payload)
+
+    def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:
+        return list(self.imap(fn, payloads))
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+def _package_search_path() -> str:
+    """Directory that makes ``import repro`` work (the ``src`` checkout dir)."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _worker_init(search_path: str) -> None:
+    """Pool initializer: make the package importable under spawn-style starts."""
+    if search_path not in sys.path:
+        sys.path.insert(0, search_path)
+
+
+class ParallelExecutor:
+    """Process-pool execution of independent work units.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (defaults to the machine's CPU count).  Values
+        ``<= 1`` degrade gracefully to serial in-process execution.
+    chunksize:
+        Payloads handed to a worker per dispatch; 1 (the default) gives the
+        best load balance for the coarse train+evaluate units this runtime
+        schedules.
+    """
+
+    def __init__(self, workers: Optional[int] = None, chunksize: int = 1):
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.chunksize = chunksize
+
+    def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        """Ordered results, yielded as the pool completes them in order."""
+        payloads = list(payloads)
+        n_workers = min(self.workers, len(payloads))
+        if n_workers <= 1:
+            yield from SerialExecutor().imap(fn, payloads)
+            return
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=n_workers,
+                                 initializer=_worker_init,
+                                 initargs=(_package_search_path(),)) as pool:
+            yield from pool.map(fn, payloads, chunksize=self.chunksize)
+
+    def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:
+        return list(self.imap(fn, payloads))
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers})"
+
+
+def make_executor(workers: Optional[int]) -> Executor:
+    """``workers`` CLI knob → executor (``None``/0/1 → serial)."""
+    if workers and workers > 1:
+        return ParallelExecutor(workers=workers)
+    return SerialExecutor()
+
+
+def executor_label(executor: Executor) -> str:
+    """Short description used in logs and benchmark records."""
+    if isinstance(executor, ParallelExecutor):
+        return f"parallel[{executor.workers}]"
+    return "serial"
+
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "executor_label",
+]

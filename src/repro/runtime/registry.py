@@ -1,0 +1,68 @@
+"""Registry mapping :class:`~repro.runtime.spec.WorkUnit` kinds to work functions.
+
+A *work function* takes ``(scale, **unit.kwargs)`` and returns a picklable
+result (a dict of metrics, a float, or a result dataclass).  Work functions
+are registered by the layer that owns the experiment logic (see
+:mod:`repro.experiments.units`); the runtime layer stays generic and only
+knows how to look kinds up and invoke them — including inside worker
+processes, where :func:`execute_unit` lazily imports the provider modules so
+the registry is populated under any multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, List, Tuple
+
+from .spec import WorkUnit
+
+WorkFunction = Callable[..., Any]
+
+WORK_FUNCTIONS: Dict[str, WorkFunction] = {}
+
+#: Modules imported on demand when an unknown kind is requested (they register
+#: their work functions at import time).  Extend via :func:`register_provider`.
+WORK_PROVIDERS: List[str] = ["repro.experiments.units"]
+
+
+def register_work(kind: str) -> Callable[[WorkFunction], WorkFunction]:
+    """Class the decorated function as the work function for ``kind``."""
+
+    def decorator(fn: WorkFunction) -> WorkFunction:
+        if kind in WORK_FUNCTIONS and WORK_FUNCTIONS[kind] is not fn:
+            raise ValueError(f"work kind {kind!r} is already registered")
+        WORK_FUNCTIONS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def register_provider(module_name: str) -> None:
+    """Record a module that registers work functions when imported."""
+    if module_name not in WORK_PROVIDERS:
+        WORK_PROVIDERS.append(module_name)
+
+
+def resolve_work(kind: str) -> WorkFunction:
+    """Look up the work function for ``kind``, importing providers if needed."""
+    fn = WORK_FUNCTIONS.get(kind)
+    if fn is None:
+        for module_name in list(WORK_PROVIDERS):
+            importlib.import_module(module_name)
+        fn = WORK_FUNCTIONS.get(kind)
+    if fn is None:
+        raise KeyError(
+            f"unknown work kind {kind!r}; registered: {sorted(WORK_FUNCTIONS)}"
+        )
+    return fn
+
+
+def execute_unit(scale: Any, unit: WorkUnit) -> Any:
+    """Evaluate one work unit under ``scale`` and return its result."""
+    return resolve_work(unit.kind)(scale, **unit.kwargs)
+
+
+def execute_payload(payload: Tuple[Any, WorkUnit]) -> Any:
+    """Module-level single-argument entry point (picklable for executors)."""
+    scale, unit = payload
+    return execute_unit(scale, unit)

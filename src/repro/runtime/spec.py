@@ -1,0 +1,160 @@
+"""Declarative descriptions of experiment work: :class:`WorkUnit` / :class:`ExperimentSpec`.
+
+A :class:`WorkUnit` is a frozen, picklable, hashable description of one
+self-contained cell of an experiment — typically "generate this dataset,
+train this model with this derived seed, measure these metrics".  Because a
+unit carries *everything* that determines its result (the work kind plus a
+canonicalized parameter mapping) it can be
+
+* shipped to a worker process by the parallel executor,
+* fingerprinted (together with the :class:`~repro.experiments.config.ExperimentScale`
+  it runs under) into a content-addressed cache key, and
+* compared across drivers: Figure 9 emits the *same* units as Table 3, so a
+  shared :class:`~repro.runtime.cache.ResultCache` turns its sweep into hits.
+
+An :class:`ExperimentSpec` bundles an ordered tuple of units with the scale
+they run under; :func:`repro.runtime.run` evaluates one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalize ``value`` into the hashable canonical form used by work units.
+
+    Sequences become tuples, mappings become sorted ``(key, value)`` tuples
+    (tagged so they round-trip through :func:`decanonicalize`), dataclasses
+    are converted via :func:`dataclasses.asdict`, NumPy scalars collapse to
+    Python scalars.  Anything else (arrays, models, ...) is rejected: a work
+    unit must stay a *description*, never a payload.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if getattr(value, "ndim", None) == 0 and hasattr(value, "item"):
+        return canonicalize(value.item())  # NumPy scalar (or 0-d array)
+    if isinstance(value, (list, tuple)):
+        return tuple(canonicalize(item) for item in value)
+    if isinstance(value, dict):
+        return ("__mapping__",) + tuple(
+            (str(key), canonicalize(value[key])) for key in sorted(value, key=str)
+        )
+    raise TypeError(
+        f"work-unit parameters must be JSON-like scalars/sequences/mappings, "
+        f"got {type(value).__name__}"
+    )
+
+
+def decanonicalize(value: Any) -> Any:
+    """Invert :func:`canonicalize` (tuples stay tuples, tagged mappings → dict)."""
+    if isinstance(value, tuple):
+        if len(value) >= 1 and value[0] == "__mapping__":
+            return {key: decanonicalize(item) for key, item in value[1:]}
+        return tuple(decanonicalize(item) for item in value)
+    return value
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical form → deterministic JSON-encodable structure."""
+    if isinstance(value, tuple):
+        if len(value) >= 1 and value[0] == "__mapping__":
+            return {key: _jsonable(item) for key, item in value[1:]}
+        return [_jsonable(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One self-contained train+evaluate cell of an experiment.
+
+    ``kind`` names a work function registered with
+    :func:`repro.runtime.registry.register_work`; ``params`` is the
+    canonicalized, sorted ``(name, value)`` parameter tuple passed to it.
+    Use :meth:`create` rather than the raw constructor.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(cls, kind: str, **params: Any) -> "WorkUnit":
+        canonical = tuple(sorted((name, canonicalize(value))
+                                 for name, value in params.items()))
+        return cls(kind=kind, params=canonical)
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as keyword arguments for the work function."""
+        return {name: decanonicalize(value) for name, value in self.params}
+
+    def describe(self) -> str:
+        """Compact human-readable label (used by CLI progress output)."""
+        parts = ", ".join(f"{name}={value!r}" for name, value in self.params)
+        return f"{self.kind}({parts})"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """An ordered collection of work units plus the scale they run under."""
+
+    name: str
+    scale: Any  # ExperimentScale (duck-typed: any dataclass of knobs works)
+    units: Tuple[WorkUnit, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Content-addressed cache key of every unit under this spec's scale."""
+        scale_key = scale_fingerprint_payload(self.scale)
+        return tuple(unit_fingerprint(self.scale, unit, _scale_payload=scale_key)
+                     for unit in self.units)
+
+
+#: Folded into every unit fingerprint.  Bump whenever a work function's
+#: numerics change (different training math, different defaulted parameters,
+#: ...): the fingerprint only covers the *description* of a unit, not the
+#: code evaluating it, so without a bump a persisted cache would replay
+#: results from the old implementation.
+CACHE_SCHEMA_VERSION = "1"
+
+
+def scale_fingerprint_payload(scale: Any) -> str:
+    """Deterministic JSON encoding of a scale dataclass (or knob bundle)."""
+    if dataclasses.is_dataclass(scale) and not isinstance(scale, type):
+        payload = dataclasses.asdict(scale)
+    else:  # duck-typed knob bundles: hash their public attributes
+        payload = {name: getattr(scale, name) for name in sorted(vars(scale))
+                   if not name.startswith("_")}
+    return json.dumps(_jsonable(canonicalize(payload)), sort_keys=True)
+
+
+def unit_fingerprint(scale: Any, unit: WorkUnit, *, _scale_payload: str = None) -> str:
+    """SHA-256 fingerprint of (schema version, scale, kind, params).
+
+    Everything that *describes* a unit's result is folded in: the full scale
+    (model widths, training config, dataset configs, seeds policy), the work
+    kind and the unit parameters (which carry the derived per-unit seeds).
+    The work function's *implementation* cannot be hashed, so
+    :data:`CACHE_SCHEMA_VERSION` stands in for it — bump it when numerics
+    change, or stale persisted caches will replay old results.
+    """
+    scale_payload = _scale_payload or scale_fingerprint_payload(scale)
+    body = json.dumps(
+        {"kind": unit.kind, "params": _jsonable(unit.params)},
+        sort_keys=True,
+    )
+    digest = hashlib.sha256()
+    digest.update(CACHE_SCHEMA_VERSION.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(scale_payload.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(body.encode("utf-8"))
+    return digest.hexdigest()

@@ -87,6 +87,12 @@ class TestReporting:
     def test_format_table_empty(self):
         assert format_table([], title="empty") == "empty"
 
+    def test_format_table_unions_keys_from_later_rows(self):
+        rows = [{"name": "a"}, {"name": "b", "extra": 3.0}]
+        text = format_table(rows)
+        assert "extra" in text
+        assert "3.000" in text
+
     def test_format_series(self):
         text = format_series({"m1": [0.1, 0.2], "m2": [0.3, 0.4]}, "D", [10, 20])
         assert "m1" in text and "m2" in text and "10" in text

@@ -1,0 +1,402 @@
+"""Tests of the repro.runtime job-graph executor (specs, cache, determinism, CLI).
+
+The key guarantees pinned here:
+
+* serial and parallel execution produce *identical* (exact float equality)
+  results — per-unit seeds derive from the unit parameters alone;
+* cache hits are byte-identical to cold runs;
+* drivers sharing a protocol (Table 3 / Figure 9) share cache entries.
+"""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    get_scale,
+    run_figure9,
+    run_table3,
+    table2_spec,
+    table3_spec,
+    tiny_scale,
+)
+from repro.models import TrainingConfig
+from repro.models.registry import kwargs_family_of_model
+from repro.runtime import (
+    ExperimentSpec,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    WorkUnit,
+    canonicalize,
+    decanonicalize,
+    execute_unit,
+    register_work,
+    resolve_work,
+    run,
+    unit_fingerprint,
+)
+from repro.runtime.cli import main as cli_main
+from repro.runtime.executor import executor_label, make_executor
+
+
+@register_work("_test_maybe_fail")
+def _maybe_fail(scale, *, value, fail=False):
+    """Tiny work function for the partial-failure caching tests."""
+    if fail:
+        raise RuntimeError("boom")
+    return value
+
+
+_COUNTING_CALLS = []
+
+
+@register_work("_test_counting")
+def _counting(scale, *, value):
+    """Tiny work function recording its invocations (dedup tests)."""
+    _COUNTING_CALLS.append(value)
+    return value
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """Micro preset shared by the determinism tests: 2 epochs, D=3."""
+    scale = tiny_scale(random_state=0)
+    return scale.with_overrides(
+        name="micro",
+        k_permutations=4,
+        n_explained_instances=2,
+        dimension_sweep=(3,),
+        training=TrainingConfig(epochs=2, batch_size=8, learning_rate=3e-3,
+                                patience=5, random_state=0),
+    )
+
+
+def table3_numbers(result):
+    """Flatten a Table3Result into a comparable structure."""
+    return [
+        (row.seed_name, row.dataset_type, row.n_dimensions,
+         row.c_acc, row.dr_acc, row.success_ratio, row.random_dr_acc)
+        for row in result.rows
+    ]
+
+
+class TestWorkUnit:
+    def test_create_is_canonical_and_hashable(self):
+        a = WorkUnit.create("kind", x=1, y=[1, 2], z="s")
+        b = WorkUnit.create("kind", z="s", y=(1, 2), x=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.kwargs == {"x": 1, "y": (1, 2), "z": "s"}
+
+    def test_numpy_scalars_collapse(self):
+        unit = WorkUnit.create("kind", seed=np.int64(7), score=np.float64(0.5))
+        assert unit.kwargs == {"seed": 7, "score": 0.5}
+
+    def test_mapping_roundtrip(self):
+        unit = WorkUnit.create("kind", config={"b": 2, "a": [1, {"c": 3}]})
+        assert unit.kwargs == {"config": {"b": 2, "a": (1, {"c": 3})}}
+
+    def test_rejects_payload_parameters(self):
+        with pytest.raises(TypeError):
+            WorkUnit.create("kind", data=np.zeros(3))
+
+    def test_decanonicalize_inverts_canonicalize(self):
+        value = {"a": [1, 2], "b": {"c": "x"}}
+        assert decanonicalize(canonicalize(value)) == {"a": (1, 2), "b": {"c": "x"}}
+
+    def test_describe_mentions_kind_and_params(self):
+        unit = WorkUnit.create("synthetic_cell", model_name="dcnn")
+        assert "synthetic_cell" in unit.describe()
+        assert "dcnn" in unit.describe()
+
+
+class TestFingerprints:
+    def test_stable_across_processes_inputs(self):
+        scale = tiny_scale()
+        unit = WorkUnit.create("synthetic_cell", model_name="dcnn", config_seed=3)
+        assert unit_fingerprint(scale, unit) == unit_fingerprint(scale, unit)
+
+    def test_sensitive_to_params_and_scale(self):
+        scale = tiny_scale()
+        unit = WorkUnit.create("synthetic_cell", model_name="dcnn", config_seed=3)
+        other_unit = WorkUnit.create("synthetic_cell", model_name="dcnn", config_seed=4)
+        other_scale = scale.with_overrides(k_permutations=99)
+        assert unit_fingerprint(scale, unit) != unit_fingerprint(scale, other_unit)
+        assert unit_fingerprint(scale, unit) != unit_fingerprint(other_scale, unit)
+
+    def test_spec_fingerprints_align_with_units(self):
+        spec = table3_spec(tiny_scale(), seeds=["starlight"], dataset_types=(1,),
+                           dimensions=[3], models=["dcnn"])
+        prints = spec.fingerprints()
+        assert len(prints) == len(spec.units)
+        assert len(set(prints)) == len(prints)  # all units distinct
+
+
+class TestRegistry:
+    def test_known_kinds_resolve(self):
+        for kind in ("synthetic_cell", "synthetic_random_baseline", "uea_cell",
+                     "figure10_curve", "figure12_epoch_time", "figure13_usecase"):
+            assert callable(resolve_work(kind))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown work kind"):
+            resolve_work("no_such_kind")
+
+    def test_duplicate_registration_rejected(self):
+        @register_work("_test_dup_kind")
+        def fn(scale):
+            return 0
+
+        with pytest.raises(ValueError):
+            @register_work("_test_dup_kind")
+            def gn(scale):
+                return 1
+
+    def test_execute_unit_runs_baseline(self, micro_scale):
+        unit = WorkUnit.create("synthetic_random_baseline", seed_name="starlight",
+                               dataset_type=1, n_dimensions=3, config_seed=103)
+        value = execute_unit(micro_scale, unit)
+        assert 0.0 <= value <= 1.0
+
+
+class TestExecutors:
+    def test_make_executor(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        parallel = make_executor(3)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.workers == 3
+        assert executor_label(parallel) == "parallel[3]"
+        assert executor_label(SerialExecutor()) == "serial"
+
+    def test_parallel_degrades_to_serial_for_single_payload(self):
+        executor = ParallelExecutor(workers=4)
+        assert executor.map(lambda x: x + 1, [41]) == [42]
+
+    def test_repeated_units_execute_once(self, micro_scale):
+        # Specs may repeat a unit (Figure 12's base-config timing appears in
+        # two panels); run() must evaluate each distinct unit only once.
+        _COUNTING_CALLS.clear()
+        spec = ExperimentSpec("dups", micro_scale, (
+            WorkUnit.create("_test_counting", value=1),
+            WorkUnit.create("_test_counting", value=2),
+            WorkUnit.create("_test_counting", value=1),
+        ))
+        assert run(spec) == [1, 2, 1]
+        assert _COUNTING_CALLS == [1, 2]
+
+    def test_parallel_preserves_order(self, micro_scale):
+        spec = ExperimentSpec(
+            name="baselines", scale=micro_scale,
+            units=tuple(WorkUnit.create("synthetic_random_baseline",
+                                        seed_name="starlight", dataset_type=1,
+                                        n_dimensions=3, config_seed=seed)
+                        for seed in (1, 2, 3, 4)))
+        serial = run(spec, executor=SerialExecutor())
+        parallel = run(spec, executor=ParallelExecutor(workers=2))
+        assert serial == parallel
+
+
+class TestSerialParallelDeterminism:
+    def test_table3_serial_vs_parallel_identical(self, micro_scale):
+        kwargs = dict(seeds=["starlight"], dataset_types=(1, 2), dimensions=[3],
+                      models=["resnet", "dcnn"], base_seed=0)
+        serial = run_table3(micro_scale, executor=SerialExecutor(), **kwargs)
+        parallel = run_table3(micro_scale, executor=ParallelExecutor(workers=2),
+                              **kwargs)
+        legacy_default = run_table3(micro_scale, **kwargs)  # executor=None
+        assert table3_numbers(serial) == table3_numbers(parallel)
+        assert table3_numbers(serial) == table3_numbers(legacy_default)
+
+    def test_figure9_serial_vs_parallel_identical(self, micro_scale):
+        serial = run_figure9(micro_scale, dimensions=[3], models=["dcnn"],
+                             executor=SerialExecutor())
+        parallel = run_figure9(micro_scale, dimensions=[3], models=["dcnn"],
+                               executor=ParallelExecutor(workers=2))
+        assert serial.c_acc == parallel.c_acc
+        assert serial.dr_acc == parallel.dr_acc
+
+    def test_uea_dataset_stable_across_hash_seeds(self):
+        # The simulated UEA datasets must not depend on Python's randomized
+        # str hash: spawned workers and cached CLI runs would otherwise see
+        # different data than the parent process.
+        src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+        code = (
+            "from repro.data.uea import make_uea_dataset, UEASimulationConfig\n"
+            "config = UEASimulationConfig(instances_per_class=2, max_length=16,\n"
+            "                             max_dimensions=3, max_classes=2,\n"
+            "                             random_state=0)\n"
+            "print(float(make_uea_dataset('BasicMotions', config).X.sum()))\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src)
+            proc = subprocess.run([sys.executable, "-c", code],
+                                  capture_output=True, text=True, env=env)
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+
+
+class TestResultCache:
+    def test_memory_roundtrip_and_stats(self):
+        cache = ResultCache()
+        hit, _ = cache.lookup("k1")
+        assert not hit
+        cache.store("k1", {"x": 1.5})
+        hit, value = cache.lookup("k1")
+        assert hit and value == {"x": 1.5}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert "k1" in cache and len(cache) == 1
+
+    def test_disk_persistence(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        first = ResultCache(directory=directory)
+        first.store("deadbeef", [1, 2, 3])
+        second = ResultCache(directory=directory)  # fresh process stand-in
+        hit, value = second.lookup("deadbeef")
+        assert hit and value == [1, 2, 3]
+
+    def test_cold_vs_warm_runs_byte_identical(self, micro_scale, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "cache"))
+        kwargs = dict(seeds=["starlight"], dataset_types=(1,), dimensions=[3],
+                      models=["dcnn"], base_seed=0)
+        cold = run_table3(micro_scale, cache=cache, **kwargs)
+        assert cache.stats.misses == len(table3_spec(micro_scale, **kwargs).units)
+        cache.reset_stats()
+        warm = run_table3(micro_scale, cache=cache, **kwargs)
+        assert cache.stats.misses == 0
+        assert cache.stats.hits == len(table3_spec(micro_scale, **kwargs).units)
+        assert pickle.dumps(table3_numbers(warm)) == pickle.dumps(table3_numbers(cold))
+
+    def test_figure9_reuses_table3_entries(self, micro_scale):
+        cache = ResultCache()
+        run_table3(micro_scale, seeds=["starlight"], dataset_types=(1, 2),
+                   dimensions=[3], models=["dcnn"], base_seed=0, cache=cache)
+        cache.reset_stats()
+        figure9 = run_figure9(micro_scale, dimensions=[3], models=["dcnn"],
+                              base_seed=0, cache=cache)
+        assert cache.stats.misses == 0, "figure9 should be fully served by table3's cache"
+        assert cache.stats.hits > 0
+        assert figure9.series("c_acc", 1)["dcnn"][0] >= 0.0
+
+    def test_failed_sweep_keeps_completed_entries(self, micro_scale):
+        cache = ResultCache()
+        spec = ExperimentSpec("flaky", micro_scale, (
+            WorkUnit.create("_test_maybe_fail", value=1),
+            WorkUnit.create("_test_maybe_fail", value=2),
+            WorkUnit.create("_test_maybe_fail", value=3, fail=True),
+        ))
+        with pytest.raises(RuntimeError, match="boom"):
+            run(spec, cache=cache)
+        fingerprints = spec.fingerprints()
+        assert cache.lookup(fingerprints[0]) == (True, 1)
+        assert cache.lookup(fingerprints[1]) == (True, 2)
+        assert cache.lookup(fingerprints[2])[0] is False
+
+    def test_cache_keys_depend_on_scale(self, micro_scale):
+        cache = ResultCache()
+        run_table3(micro_scale, seeds=["starlight"], dataset_types=(1,),
+                   dimensions=[3], models=["dcnn"], cache=cache)
+        other_scale = micro_scale.with_overrides(k_permutations=8)
+        cache.reset_stats()
+        run_table3(other_scale, seeds=["starlight"], dataset_types=(1,),
+                   dimensions=[3], models=["dcnn"], cache=cache)
+        assert cache.stats.hits == 0, "a different scale must not reuse results"
+
+
+class TestSpecBuilders:
+    def test_table3_spec_unit_count(self, micro_scale):
+        spec = table3_spec(micro_scale, seeds=["starlight"], dataset_types=(1, 2),
+                           dimensions=[3, 4], models=["resnet", "dcnn"])
+        # 4 configurations x (1 baseline + 2 models x n_runs)
+        expected = 4 * (1 + 2 * micro_scale.n_runs)
+        assert len(spec.units) == expected
+        assert spec.name == "table3"
+
+    def test_table2_spec_seed_derivation(self, micro_scale):
+        spec = table2_spec(micro_scale, dataset_names=["BasicMotions", "Epilepsy"],
+                           models=["cnn"], base_seed=5)
+        kwargs = [unit.kwargs for unit in spec.units]
+        assert kwargs[0]["split_seed"] == 5 and kwargs[0]["run_seed"] == 5
+        assert kwargs[1]["split_seed"] == 6 and kwargs[1]["run_seed"] == 105
+
+    def test_units_pickle(self, micro_scale):
+        spec = table3_spec(micro_scale, seeds=["starlight"], dataset_types=(1,),
+                           dimensions=[3], models=["dcnn"])
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.units == spec.units
+        assert clone.fingerprints() == spec.fingerprints()
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "table3", "figure13", "ablation-ng-filter"):
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert cli_main(["run", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unsupported_filter_flag_rejected(self, capsys):
+        assert cli_main(["run", "figure13", "--models", "dresnet"]) == 2
+        err = capsys.readouterr().err
+        assert "does not support --models" in err
+        assert cli_main(["run", "figure9", "--seeds", "shapes"]) == 2
+        assert "does not support --seeds" in capsys.readouterr().err
+
+    def test_run_table3_with_workers_and_json(self, tmp_path, capsys):
+        json_path = str(tmp_path / "out.json")
+        code = cli_main([
+            "run", "table3", "--scale", "tiny", "--epochs", "2",
+            "--models", "dcnn", "--dimensions", "3", "--seeds", "starlight",
+            "--workers", "2", "--json", json_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        with open(json_path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["experiment"] == "table3"
+        assert record["workers"] == 2
+        assert record["result"][0]["dimensions"] == 3
+        assert 0.0 <= record["result"][0]["C-acc:dcnn"] <= 1.0
+
+    def test_run_with_cache_dir_hits_on_second_invocation(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "ablation-ng-filter", "--scale", "tiny", "--epochs", "2",
+                "--cache-dir", cache_dir, "--quiet"]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().err
+        assert "misses=2" in first
+        assert cli_main(argv) == 0
+        second = capsys.readouterr().err
+        assert "hits=2" in second and "misses=0" in second
+
+
+class TestKwargsFamily:
+    def test_families_declared_in_registry(self):
+        assert kwargs_family_of_model("dcnn") == "cnn"
+        assert kwargs_family_of_model("cnn") == "cnn"
+        assert kwargs_family_of_model("ccnn") == "cnn"
+        assert kwargs_family_of_model("cResNet") == "resnet"
+        assert kwargs_family_of_model("dinceptiontime") == "inception"
+        assert kwargs_family_of_model("gru") == "recurrent"
+        assert kwargs_family_of_model("mtex") == "mtex"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            kwargs_family_of_model("transformer")
+
+    def test_scale_kwargs_follow_family(self):
+        scale = get_scale("tiny")
+        assert scale.model_kwargs("dresnet") == scale.resnet_kwargs
+        assert scale.model_kwargs("mtex") == scale.mtex_kwargs
