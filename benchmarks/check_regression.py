@@ -1,0 +1,226 @@
+"""CI perf-regression gate over the benchmark JSON records.
+
+Compares every ``benchmarks/results/*.json`` against the committed baseline
+of the same name in ``benchmarks/baselines/`` and fails (exit 1) when a
+throughput metric regressed beyond tolerance.  Two metric classes are
+recognised while recursively walking each record:
+
+* **ratio metrics** — keys named ``speedup`` / ``*_speedup`` (batched vs
+  per-instance, engine vs legacy, ...).  These are machine-relative, so they
+  gate tightly: fail when more than ``--tolerance`` (default 30%) below the
+  baseline.  Ratios whose *baseline* sits near break-even (below
+  ``--min-ratio-baseline``, default 1.2) are noise-dominated — e.g. a
+  parallel-vs-serial ratio of 1.005 recorded on a single-core host — and are
+  reported as ``[info]`` instead of gated.
+* **absolute throughput** — keys ending in ``per_second``.  These depend on
+  the host the baseline was recorded on, so they gate loosely: fail when
+  more than ``--absolute-tolerance`` (default 60%) below the baseline.
+
+Results without a committed baseline (or without any recognised metric, e.g.
+the CLI smoke output) are reported but do not fail the gate — commit a
+baseline to arm it.
+
+Updating baselines
+------------------
+After an intentional perf change, re-run the benchmarks and refresh the
+committed baselines from the new results::
+
+    python benchmarks/bench_training_engine.py --scale tiny   # etc.
+    python benchmarks/check_regression.py --update
+    git add benchmarks/baselines/
+
+``--update FILE.json ...`` refreshes a subset.  The CI bench-smoke job runs
+this script after the benchmarks, so a regression fails the pull request
+while an intentional improvement only asks for a baseline refresh.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import Dict, Iterator, Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(HERE, "results")
+BASELINES_DIR = os.path.join(HERE, "baselines")
+
+
+def iter_metrics(record, prefix: str = "") -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(path, kind, value)`` for every recognised throughput metric."""
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if key == "speedup" or key.endswith("_speedup"):
+                    yield path, "ratio", float(value)
+                elif key.endswith("per_second"):
+                    yield path, "absolute", float(value)
+            else:
+                yield from iter_metrics(value, path)
+
+
+def load_metrics(path: str) -> Dict[str, Tuple[str, float]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    return {metric: (kind, value) for metric, kind, value in iter_metrics(record)}
+
+
+def compare(name, results_path, baseline_path, tolerances, min_ratio_baseline):
+    """Return (regressions, notes) for one result/baseline pair."""
+    current = load_metrics(results_path)
+    baseline = load_metrics(baseline_path)
+    regressions, notes = [], []
+    for metric, (kind, reference) in sorted(baseline.items()):
+        if metric not in current:
+            regressions.append(
+                f"{name}: metric {metric!r} missing from new results (present in baseline)"
+            )
+            continue
+        value = current[metric][1]
+        if kind == "ratio" and reference < min_ratio_baseline:
+            # A break-even baseline ratio carries no regression signal: a 30%
+            # drop from 1.005 is ordinary scheduler noise, not a perf change.
+            notes.append(
+                f"  [      info] {name}:{metric} = {value:.4g} "
+                f"(baseline {reference:.4g} below gating floor "
+                f"{min_ratio_baseline:.4g}, not gated)"
+            )
+            continue
+        floor = reference * (1.0 - tolerances[kind])
+        status = "ok" if value >= floor else "REGRESSION"
+        notes.append(
+            f"  [{status:>10}] {name}:{metric} = {value:.4g} "
+            f"(baseline {reference:.4g}, floor {floor:.4g}, {kind})"
+        )
+        if value < floor:
+            regressions.append(
+                f"{name}: {metric} regressed to {value:.4g} "
+                f"({value / reference:.0%} of baseline {reference:.4g}; "
+                f"tolerance {tolerances[kind]:.0%})"
+            )
+    return regressions, notes
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="result file names to check/update (default: every JSON in --results)",
+    )
+    parser.add_argument(
+        "--results",
+        default=RESULTS_DIR,
+        help="directory holding fresh benchmark records",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=BASELINES_DIR,
+        help="directory holding committed baselines",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop for ratio metrics (default: 0.30)",
+    )
+    parser.add_argument(
+        "--absolute-tolerance",
+        type=float,
+        default=0.60,
+        help="allowed fractional drop for machine-dependent absolute throughput (default: 0.60)",
+    )
+    parser.add_argument(
+        "--min-ratio-baseline",
+        type=float,
+        default=1.2,
+        help="ratio metrics with a baseline below this are reported but not gated (default: 1.2)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current results over the baselines instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    def list_json(directory):
+        if not os.path.isdir(directory):
+            return []
+        return sorted(name for name in os.listdir(directory) if name.endswith(".json"))
+
+    result_names = list_json(args.results)
+    baseline_names = list_json(args.baselines)
+    # Walk the union so a committed baseline whose benchmark stopped emitting
+    # results fails loudly instead of silently disarming the gate.
+    names = args.files or sorted(set(result_names) | set(baseline_names))
+    if not names:
+        print(f"no benchmark records found in {args.results}")
+        return 1
+
+    if args.update:
+        os.makedirs(args.baselines, exist_ok=True)
+        for name in names:
+            source = os.path.join(args.results, name)
+            if not os.path.exists(source):
+                print(f"[skip] {name}: baseline kept, no fresh result to copy")
+                continue
+            if not load_metrics(source):
+                print(f"[skip] {name}: no throughput metrics to baseline")
+                continue
+            shutil.copyfile(source, os.path.join(args.baselines, name))
+            print(f"[updated] baselines/{name}")
+        return 0
+
+    tolerances = {"ratio": args.tolerance, "absolute": args.absolute_tolerance}
+    regressions, unarmed = [], []
+    for name in names:
+        results_path = os.path.join(args.results, name)
+        baseline_path = os.path.join(args.baselines, name)
+        if not os.path.exists(results_path):
+            regressions.append(
+                f"{name}: committed baseline has no matching result — the "
+                "benchmark no longer runs or writes a different --output "
+                "(delete the baseline if retiring it intentionally)"
+            )
+            continue
+        if not load_metrics(results_path):
+            print(f"[skip] {name}: no recognised throughput metrics")
+            continue
+        if not os.path.exists(baseline_path):
+            unarmed.append(name)
+            continue
+        found, notes = compare(
+            name, results_path, baseline_path, tolerances, args.min_ratio_baseline
+        )
+        print(f"{name}:")
+        for note in notes:
+            print(note)
+        regressions.extend(found)
+
+    for name in unarmed:
+        print(
+            f"[unarmed] {name}: no committed baseline — run "
+            f"`python benchmarks/check_regression.py --update {name}` and "
+            "commit benchmarks/baselines/ to arm the gate"
+        )
+    if regressions:
+        print("\nPerformance regressions detected:")
+        for line in regressions:
+            print(f"  - {line}")
+        print(
+            "(intentional? refresh with `python benchmarks/check_regression.py"
+            " --update` and commit the new baselines)"
+        )
+        return 1
+    print("\nno regressions detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

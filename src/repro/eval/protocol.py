@@ -67,7 +67,7 @@ def evaluate_classification(model_name: str, dataset: MultivariateDataset,
         dataset_name=dataset.name,
         c_acc=accuracy,
         epochs_run=history.epochs_run,
-        train_seconds=float(np.sum(history.epoch_seconds)),
+        train_seconds=float(history.prepare_seconds + np.sum(history.epoch_seconds)),
     )
     return model, result
 

@@ -12,19 +12,20 @@ Every architecture in :mod:`repro.models` follows the same contract:
 * :meth:`BaseClassifier.forward` maps the prepared input to class logits.
 
 Training follows the paper's protocol (Section 5.2): Adam, cross-entropy,
-mini-batches, early stopping on the validation loss.
+mini-batches, early stopping on the validation loss.  :meth:`BaseClassifier.fit`
+is a thin wrapper over :class:`repro.training.TrainingEngine` (the fused
+prepare-once pipeline); ``TrainingConfig(engine="legacy")`` selects the
+reference per-batch-prepare loop, which the engine matches float for float.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..nn import Adam, Module, Tensor, cross_entropy, inference_mode
-from ..nn.optim import clip_grad_norm
+from ..nn import Module, Tensor, cross_entropy, inference_mode
 
 
 @dataclass
@@ -47,6 +48,10 @@ class TrainingConfig:
     shuffle: bool = True
     verbose: bool = False
     random_state: Optional[int] = None
+    #: Which fit implementation runs: "fused" (the prepare-once
+    #: :class:`repro.training.TrainingEngine`) or "legacy" (the reference
+    #: per-batch-prepare loop).  Both produce float-identical results.
+    engine: str = "fused"
 
 
 @dataclass
@@ -57,6 +62,10 @@ class TrainingHistory:
     validation_loss: List[float] = field(default_factory=list)
     validation_accuracy: List[float] = field(default_factory=list)
     epoch_seconds: List[float] = field(default_factory=list)
+    #: One-off input-preparation wall clock of the fused engine (0.0 for the
+    #: legacy loop, which pays preparation inside every epoch instead).  Total
+    #: training time is ``prepare_seconds + sum(epoch_seconds)``.
+    prepare_seconds: float = 0.0
     best_epoch: int = 0
     stopped_early: bool = False
 
@@ -101,6 +110,10 @@ class BaseClassifier(Module):
     #: :meth:`repro.experiments.config.ExperimentScale.model_kwargs` uses to
     #: pick the width preset; ``None`` means "takes no scale kwargs".
     kwargs_family: Optional[str] = None
+    #: Whether ``forward`` is exactly ``classifier(gap(features(x)))`` — the
+    #: GAP + dense head every CAM architecture shares — letting the training
+    #: engine compute the loss through the fused single-node head.
+    fused_head: bool = False
 
     def __init__(self, n_dimensions: int, length: int, n_classes: int,
                  rng: Optional[np.random.Generator] = None) -> None:
@@ -135,15 +148,33 @@ class BaseClassifier(Module):
     # ------------------------------------------------------------------
     # Prediction helpers
     # ------------------------------------------------------------------
-    def logits(self, X: np.ndarray, batch_size: int = 32) -> np.ndarray:
-        """Class logits for a raw batch of series, computed in eval mode."""
-        self.eval()
-        outputs = []
-        with inference_mode():
-            for start in range(0, len(X), batch_size):
-                batch = X[start: start + batch_size]
-                outputs.append(self.forward(self.prepare_input(batch)).data)
-        return np.concatenate(outputs, axis=0)
+    def logits(self, X: np.ndarray, batch_size: int = 32, *,
+               prepared=None) -> np.ndarray:
+        """Class logits for a raw batch of series, computed in eval mode.
+
+        The model's train/eval mode is restored afterwards, so calling this
+        mid-training (e.g. from a validation callback) cannot silently leave
+        dropout and batch-norm in inference behaviour for subsequent epochs.
+        ``prepared`` optionally supplies a
+        :class:`repro.training.PreparedInputs` cache so the per-batch
+        ``prepare_input`` calls are skipped (the training engine's validation
+        path uses this).
+        """
+        was_training = self.training
+        try:
+            self.eval()
+            outputs = []
+            with inference_mode():
+                for start in range(0, len(X), batch_size):
+                    if prepared is not None:
+                        batch = Tensor(prepared.slice(start, start + batch_size))
+                    else:
+                        batch = self.prepare_input(X[start: start + batch_size])
+                    outputs.append(self.forward(batch).data)
+            return np.concatenate(outputs, axis=0)
+        finally:
+            if was_training:
+                self.train()
 
     def predict_proba(self, X: np.ndarray, batch_size: int = 32) -> np.ndarray:
         logits = self.logits(X, batch_size)
@@ -162,24 +193,45 @@ class BaseClassifier(Module):
     # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
-    def _evaluate_loss(self, X: np.ndarray, y: np.ndarray, batch_size: int) -> Tuple[float, float]:
-        self.eval()
-        losses, correct, total = [], 0, 0
-        with inference_mode():
-            for start in range(0, len(X), batch_size):
-                batch_X = X[start: start + batch_size]
-                batch_y = y[start: start + batch_size]
-                logits = self.forward(self.prepare_input(batch_X))
-                loss = cross_entropy(logits, batch_y)
-                losses.append(loss.item() * len(batch_X))
-                correct += int((logits.data.argmax(axis=1) == batch_y).sum())
-                total += len(batch_X)
-        return float(np.sum(losses) / total), correct / total
+    def _evaluate_loss(self, X: np.ndarray, y: np.ndarray, batch_size: int,
+                       prepared=None) -> Tuple[float, float]:
+        """Mean cross-entropy and accuracy on ``(X, y)`` in eval mode.
+
+        ``prepared`` optionally supplies a prepared-input cache (see
+        :meth:`logits`); the train/eval mode is restored afterwards.
+        """
+        was_training = self.training
+        try:
+            self.eval()
+            losses, correct, total = [], 0, 0
+            with inference_mode():
+                for start in range(0, len(X), batch_size):
+                    batch_y = y[start: start + batch_size]
+                    if prepared is not None:
+                        batch = Tensor(prepared.slice(start, start + batch_size))
+                    else:
+                        batch = self.prepare_input(X[start: start + batch_size])
+                    logits = self.forward(batch)
+                    loss = cross_entropy(logits, batch_y)
+                    losses.append(loss.item() * len(batch_y))
+                    correct += int((logits.data.argmax(axis=1) == batch_y).sum())
+                    total += len(batch_y)
+            return float(np.sum(losses) / total), correct / total
+        finally:
+            if was_training:
+                self.train()
 
     def fit(self, X: np.ndarray, y: np.ndarray,
             validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
             config: Optional[TrainingConfig] = None) -> TrainingHistory:
         """Train with Adam + cross-entropy and early stopping.
+
+        Thin wrapper over the fused :class:`repro.training.TrainingEngine`
+        (``config.engine == "fused"``, the default) or the reference loop in
+        :func:`repro.training.legacy.fit_legacy` (``"legacy"``).  Both are
+        float-identical; the engine prepares inputs once per fit and runs the
+        fused forward/backward kernels.  The model is left in eval mode with
+        the best weights loaded.
 
         Parameters
         ----------
@@ -191,69 +243,13 @@ class BaseClassifier(Module):
             Training hyper-parameters; see :class:`TrainingConfig`.
         """
         config = config or TrainingConfig()
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y, dtype=np.int64)
-        if X.ndim != 3:
-            raise ValueError("X must be (instances, dimensions, length)")
-        if X.shape[1] != self.n_dimensions or X.shape[2] != self.length:
-            raise ValueError(
-                f"model built for (D={self.n_dimensions}, n={self.length}) "
-                f"but got series of shape {X.shape[1:]}"
-            )
-        rng = np.random.default_rng(config.random_state)
-        optimizer = Adam(self.parameters(), lr=config.learning_rate,
-                         weight_decay=config.weight_decay)
-        history = TrainingHistory()
-        best_loss = float("inf")
-        best_state: Optional[Dict[str, np.ndarray]] = None
-        epochs_without_improvement = 0
+        if config.engine == "legacy":
+            from ..training.legacy import fit_legacy
 
-        for epoch in range(config.epochs):
-            start_time = time.perf_counter()
-            self.train()
-            indices = rng.permutation(len(X)) if config.shuffle else np.arange(len(X))
-            epoch_losses = []
-            for start in range(0, len(X), config.batch_size):
-                batch_idx = indices[start: start + config.batch_size]
-                logits = self.forward(self.prepare_input(X[batch_idx]))
-                loss = cross_entropy(logits, y[batch_idx])
-                optimizer.zero_grad()
-                loss.backward()
-                if config.gradient_clip is not None:
-                    clip_grad_norm(self.parameters(), config.gradient_clip)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            history.train_loss.append(float(np.mean(epoch_losses)))
-            history.epoch_seconds.append(time.perf_counter() - start_time)
+            return fit_legacy(self, X, y, validation_data, config)
+        if config.engine != "fused":
+            raise ValueError(f"unknown training engine {config.engine!r}; "
+                             "expected 'fused' or 'legacy'")
+        from ..training.engine import TrainingEngine
 
-            if validation_data is not None:
-                val_loss, val_acc = self._evaluate_loss(validation_data[0],
-                                                        validation_data[1],
-                                                        config.batch_size)
-                history.validation_loss.append(val_loss)
-                history.validation_accuracy.append(val_acc)
-                monitored = val_loss
-            else:
-                monitored = history.train_loss[-1]
-
-            if config.verbose:  # pragma: no cover - logging only
-                message = f"epoch {epoch + 1}/{config.epochs} train_loss={history.train_loss[-1]:.4f}"
-                if validation_data is not None:
-                    message += f" val_loss={history.validation_loss[-1]:.4f}"
-                    message += f" val_acc={history.validation_accuracy[-1]:.3f}"
-                print(message)
-
-            if monitored < best_loss - config.min_delta:
-                best_loss = monitored
-                best_state = self.state_dict()
-                history.best_epoch = epoch
-                epochs_without_improvement = 0
-            else:
-                epochs_without_improvement += 1
-                if epochs_without_improvement >= config.patience:
-                    history.stopped_early = True
-                    break
-
-        if best_state is not None:
-            self.load_state_dict(best_state)
-        return history
+        return TrainingEngine(self, config).fit(X, y, validation_data)

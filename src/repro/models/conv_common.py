@@ -42,6 +42,9 @@ class ConvBackboneClassifier(BaseClassifier):
 
     supports_cam = True
     explainer_family = "cam"
+    # forward is exactly classifier(gap(features(x))), so the training engine
+    # may compute the loss through its fused GAP + dense + cross-entropy node.
+    fused_head = True
 
     feature_extractor: Module
     feature_channels: int

@@ -7,6 +7,7 @@ CNN / ResNet / InceptionTime families and compute class activation maps.
 """
 
 from . import functional
+from .fused import fused_training, is_fused_training
 from .layers import (
     BatchNorm,
     BatchNorm1d,
@@ -32,6 +33,7 @@ from .loss import CrossEntropyLoss, cross_entropy, mse_loss, nll_loss
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .recurrent import GRUCell, LSTMCell, RecurrentLayer, RNNCell
 from .serialization import load_state_dict, save_state_dict
+from .workspace import Workspace
 from .tensor import (
     Tensor,
     inference_mode,
@@ -88,4 +90,7 @@ __all__ = [
     "clip_grad_norm",
     "save_state_dict",
     "load_state_dict",
+    "Workspace",
+    "fused_training",
+    "is_fused_training",
 ]

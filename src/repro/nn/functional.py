@@ -11,6 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import fused as _fused
 from .tensor import Tensor, is_grad_enabled
 
 
@@ -55,6 +56,7 @@ def _im2col(
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
+    workspace=None,
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Rearrange image patches into columns.
 
@@ -64,6 +66,10 @@ def _im2col(
         Input of shape ``(batch, channels, height, width)``.
     kernel, stride, padding:
         Kernel size, stride and zero padding as ``(vertical, horizontal)``.
+    workspace:
+        Optional :class:`~repro.nn.workspace.Workspace`; when given, the
+        column matrix is written into a checked-out scratch buffer instead of
+        a fresh allocation (contents and layout are identical).
 
     Returns
     -------
@@ -76,6 +82,11 @@ def _im2col(
     kh, kw = kernel
     windows, (out_h, out_w) = _conv_windows(x, kernel, stride, padding)
     # (batch, out_h, out_w, channels, kh, kw) -> columns
+    if workspace is not None:
+        cols = workspace.acquire((batch, out_h, out_w, channels * kh * kw), x.dtype)
+        np.copyto(cols.reshape(batch, out_h, out_w, channels, kh, kw),
+                  windows.transpose(0, 2, 3, 1, 4, 5))
+        return cols, (out_h, out_w)
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
         batch, out_h, out_w, channels * kh * kw
     )
@@ -88,6 +99,7 @@ def _col2im(
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
+    workspace=None,
 ) -> np.ndarray:
     """Scatter column gradients back to image gradients (inverse of im2col)."""
     batch, channels, height, width = input_shape
@@ -97,7 +109,12 @@ def _col2im(
     padded_h, padded_w = height + 2 * ph, width + 2 * pw
     out_h = (padded_h - kh) // sh + 1
     out_w = (padded_w - kw) // sw + 1
-    grad_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+    if workspace is not None:
+        grad_padded = workspace.acquire((batch, channels, padded_h, padded_w),
+                                        cols.dtype)
+        grad_padded.fill(0)
+    else:
+        grad_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
     # cols: (batch, out_h, out_w, channels * kh * kw)
     cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
     for i in range(kh):
@@ -171,29 +188,53 @@ def conv2d(
             out += bias.data.reshape(1, out_channels, 1, 1)
         return Tensor(out, name="conv2d")
 
-    cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding)
-    weight_2d = weight.data.reshape(out_channels, -1)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out, backward = _conv2d_train(x.data, weight.data, weight.shape,
+                                  None if bias is None else bias.data,
+                                  stride, padding, x.requires_grad)
+    return Tensor._make(out, parents, backward, name="conv2d")
+
+
+def _conv2d_train(x_data: np.ndarray, weight_data: np.ndarray,
+                  weight_shape: Tuple[int, ...], bias_data: Optional[np.ndarray],
+                  stride: Tuple[int, int], padding: Tuple[int, int],
+                  need_input_grad: bool):
+    """Training-path conv2d on plain arrays: forward value + backward closure.
+
+    Shared by :func:`conv2d` and the fused-training :func:`conv1d` node.  The
+    input gradient (a full matmul plus a col2im scatter) is skipped when the
+    input does not require it — the first layer of every architecture — which
+    is invisible to the autograd walk (``None`` parent gradients are dropped).
+    Scratch buffers come from the active fused-training workspace, if any.
+    """
+    out_channels, in_channels, kh, kw = weight_shape
+    batch = x_data.shape[0]
+    workspace = _fused.active_workspace() if _fused.is_fused_training() else None
+    cols, (out_h, out_w) = _im2col(x_data, (kh, kw), stride, padding, workspace)
+    weight_2d = weight_data.reshape(out_channels, -1)
     cols_2d = cols.reshape(-1, in_channels * kh * kw)
     out = cols_2d @ weight_2d.T
     out = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
-    if bias is not None:
-        out = out + bias.data.reshape(1, out_channels, 1, 1)
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
-    input_shape = x.shape
+    if bias_data is not None:
+        out = out + bias_data.reshape(1, out_channels, 1, 1)
+    input_shape = x_data.shape
 
     def backward(grad: np.ndarray):
         # grad: (batch, out_channels, out_h, out_w)
         grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
-        grad_weight = (grad_flat.T @ cols_2d).reshape(weight.shape)
-        grad_cols = (grad_flat @ weight_2d).reshape(batch, out_h, out_w, -1)
-        grad_input = _col2im(grad_cols, input_shape, (kh, kw), stride, padding)
-        if bias is None:
+        grad_weight = (grad_flat.T @ cols_2d).reshape(weight_shape)
+        if need_input_grad:
+            grad_cols = (grad_flat @ weight_2d).reshape(batch, out_h, out_w, -1)
+            grad_input = _col2im(grad_cols, input_shape, (kh, kw), stride,
+                                 padding, workspace)
+        else:
+            grad_input = None
+        if bias_data is None:
             return (grad_input, grad_weight)
         grad_bias = grad.sum(axis=(0, 2, 3))
         return (grad_input, grad_weight, grad_bias)
 
-    return Tensor._make(out, parents, backward, name="conv2d")
+    return out, backward
 
 
 def fused_conv_bn_relu(x_data: np.ndarray, conv, bn) -> np.ndarray:
@@ -228,6 +269,38 @@ def conv1d(
     padding: int = 0,
 ) -> Tensor:
     """1D cross-correlation over ``(batch, in_channels, length)`` inputs."""
+    needs_grad = is_grad_enabled() and (
+        x.requires_grad or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if needs_grad and _fused.is_fused_training():
+        # Fused-training path: collapse expand_dims -> conv2d -> squeeze into
+        # one node (the wrapper reshapes only shuffle metadata, so folding
+        # them into the conv closure is bit-neutral).
+        if x.shape[1] != weight.shape[1]:
+            raise ValueError(
+                f"input has {x.shape[1]} channels but weight expects {weight.shape[1]}"
+            )
+        out_channels = weight.shape[0]
+        out4, backward4 = _conv2d_train(
+            x.data[:, :, None, :], weight.data[:, :, None, :],
+            (out_channels, weight.shape[1], 1, weight.shape[2]),
+            None if bias is None else bias.data,
+            (1, stride), (0, padding), x.requires_grad,
+        )
+        out_shape4 = out4.shape
+        out = np.squeeze(out4, axis=2)
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad: np.ndarray):
+            grads4 = backward4(grad.reshape(out_shape4))
+            grad_input = grads4[0]
+            if grad_input is not None:
+                grad_input = np.squeeze(grad_input, axis=2)
+            grad_weight = np.squeeze(grads4[1], axis=2)
+            return (grad_input, grad_weight) + tuple(grads4[2:])
+
+        return Tensor._make(out, parents, backward, name="conv1d")
     x4 = x.expand_dims(2)  # (batch, channels, 1, length)
     w4 = weight.expand_dims(2)  # (out, in, 1, k)
     out = conv2d(x4, w4, bias, stride=(1, stride), padding=(0, padding))

@@ -1,0 +1,237 @@
+"""Fused autograd kernels for the training engine (bit-exact fast path).
+
+The composed autograd graph of one training step is dominated, at the scales
+this reproduction trains at, by Python-level node overhead: a single
+``BatchNorm`` forward builds ~15 graph nodes (the mean is even computed twice,
+once for the normalisation and once inside ``var``), and the
+GAP → dense → cross-entropy head builds another ~14 — each with its own
+closure, its own small allocations and its own visit during the backward
+topological walk.  The kernels here collapse those subgraphs into single
+autograd nodes with hand-written backward closures.
+
+**Bit-exactness contract.**  Every kernel replays the *exact* floating-point
+operations of the composed graph it replaces — same operation order, same
+operand construction (reductions are sensitive to operand memory layout, so
+broadcast gradients are materialised with ``broadcast_to(...).astype`` exactly
+like ``Tensor.sum``'s backward does), and same gradient accumulation order as
+:meth:`Tensor.backward`'s reverse-topological walk produces for the composed
+subgraph.  Training through these kernels is therefore float-identical to the
+legacy loop — loss curves, early-stopping epochs and final weights match bit
+for bit, which ``tests/test_training_engine.py`` pins for one architecture
+per input kind.
+
+The kernels are only taken inside a :func:`fused_training` context (entered
+by :class:`repro.training.TrainingEngine`); plain ``model.fit`` via the
+legacy loop and all inference paths are unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+from .workspace import Workspace
+
+
+# ---------------------------------------------------------------------------
+# Thread-local fused-training mode
+# ---------------------------------------------------------------------------
+class _FusedState(threading.local):
+    """Per-thread switch consulted by the conv / batch-norm layers."""
+
+    def __init__(self) -> None:
+        self.active: bool = False
+        self.workspace: Optional[Workspace] = None
+
+
+_state = _FusedState()
+
+
+def is_fused_training() -> bool:
+    """Whether the fused training kernels are enabled on this thread."""
+    return _state.active
+
+
+def active_workspace() -> Optional[Workspace]:
+    """The scratch-buffer workspace of the active fused-training context."""
+    return _state.workspace
+
+
+class fused_training:
+    """Context manager enabling the fused training kernels on this thread.
+
+    Parameters
+    ----------
+    workspace:
+        Optional :class:`~repro.nn.workspace.Workspace` whose buffers the
+        convolution im2col / col2im paths reuse across mini-batches.  The
+        caller must invoke ``workspace.release_all()`` after each optimizer
+        step (the training engine does).
+    """
+
+    def __init__(self, workspace: Optional[Workspace] = None) -> None:
+        self._workspace = workspace
+        self._previous: list = []
+
+    def __enter__(self) -> "fused_training":
+        self._previous.append((_state.active, _state.workspace))
+        _state.active = True
+        _state.workspace = self._workspace
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        _state.active, _state.workspace = self._previous.pop()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Fused batch normalisation (training mode)
+# ---------------------------------------------------------------------------
+def batch_norm_training(bn, x: Tensor, relu: bool = False) -> Tensor:
+    """One-node replacement for the composed training-mode BatchNorm graph.
+
+    Replays, in order: the running-statistics update (``np.mean`` /
+    ``np.var`` replicated via one shared sum), the graph forward
+    ``((x - mean) / (var + eps) ** 0.5) * w + b``, and a backward closure
+    reproducing the composed graph's gradients — including the
+    ``((d-path + mean-path) + var-sub-path) + var-mean-path`` accumulation
+    order of the four contributions into ``x``.
+
+    With ``relu=True`` the following ReLU node is folded in as well (the
+    ``Conv → BatchNorm → ReLU`` blocks of the CNN family), replicating the
+    composed ``mask``-multiply forward and ``grad * mask`` backward.
+    """
+    if x.shape[1] != bn.num_features:
+        raise ValueError(f"expected {bn.num_features} channels, got {x.shape[1]}")
+    shape = bn._shape_for(x)
+    axes = bn._stat_axes(x)
+    xd = x.data
+    count = 1
+    for axis in axes:
+        count *= xd.shape[axis]
+    scale = np.asarray(1.0 / count)
+
+    # One reduction serves the running mean (np.mean == sum / count), the
+    # running variance (np.var's internal arrmean is the same quotient) and
+    # both mean nodes of the composed graph (x.mean inside var() recomputes
+    # the identical sum, so sharing it is bit-neutral).
+    sum1 = xd.sum(axis=axes, keepdims=True)
+    batch_mean = sum1.reshape(bn.num_features) / count
+    centered_np = xd - sum1 / count
+    batch_var = (centered_np * centered_np).sum(axis=axes) / count
+    bn.running_mean = (1 - bn.momentum) * bn.running_mean + bn.momentum * batch_mean
+    bn.running_var = (1 - bn.momentum) * bn.running_var + bn.momentum * batch_var
+
+    mean = sum1 * scale
+    c = xd - mean
+    var = (c * c).sum(axis=axes, keepdims=True) * scale
+    ve = var + np.asarray(bn.eps)
+    sd = ve ** 0.5
+    normalized = c / sd
+    w_r = bn.weight.data.reshape(shape)
+    out_data = normalized * w_r + bn.bias.data.reshape(shape)
+    if relu:
+        relu_mask = out_data > 0
+        out_data = out_data * relu_mask
+
+    weight, bias = bn.weight, bn.bias
+    full_shape, dtype = xd.shape, xd.dtype
+
+    def backward(g: np.ndarray):
+        if relu:
+            g = g * relu_mask
+        g_bias = g.sum(axis=axes, keepdims=True).reshape(bias.data.shape)
+        g_norm = g * w_r
+        g_weight = (g * normalized).sum(axis=axes, keepdims=True).reshape(weight.data.shape)
+        # d-path: normalized = d / sd
+        g_d = g_norm / sd
+        g_sd = (-g_norm * c / (sd ** 2)).sum(axis=axes, keepdims=True)
+        g_ve = g_sd * 0.5 * ve ** (0.5 - 1)
+        # var-path: var = (c * c).sum * scale; the composed sum backward
+        # materialises the broadcast (layout matters for the reductions and
+        # elementwise ops downstream).
+        g_sq = np.broadcast_to(g_ve * scale, full_shape).astype(dtype)
+        p = g_sq * c
+        g_c = p + p  # c appears twice as a parent of c * c
+        g_mean2 = (-g_c).sum(axis=axes, keepdims=True)
+        g_mean1 = (-g_d).sum(axis=axes, keepdims=True)
+        t_mean1 = np.broadcast_to(g_mean1 * scale, full_shape).astype(dtype)
+        t_mean2 = np.broadcast_to(g_mean2 * scale, full_shape).astype(dtype)
+        # Accumulation order of the reverse-topological walk.
+        g_x = ((g_d + t_mean1) + g_c) + t_mean2
+        return (g_x, g_weight, g_bias)
+
+    return Tensor._make(out_data, (x, weight, bias), backward,
+                        name="batch_norm_relu" if relu else "batch_norm")
+
+
+# ---------------------------------------------------------------------------
+# Fused GAP -> dense -> cross-entropy head
+# ---------------------------------------------------------------------------
+def gap_linear_cross_entropy(feats: Tensor, classifier, targets: np.ndarray) -> Tensor:
+    """One-node loss for architectures ending in GAP + dense (CAM heads).
+
+    Equivalent to ``cross_entropy(classifier(global_average_pool(feats)), y)``
+    with the composed graph's ~14 nodes collapsed into one; forward and
+    backward replay the composed operations bit for bit.  ``classifier`` must
+    be a :class:`repro.nn.Linear` with a bias (every
+    :class:`~repro.models.conv_common.ConvBackboneClassifier` head qualifies).
+    """
+    if classifier.bias is None:
+        raise ValueError("fused head requires a classifier with a bias")
+    fd = feats.data
+    spatial_axes = tuple(range(2, fd.ndim))
+    count = 1
+    for axis in spatial_axes:
+        count *= fd.shape[axis]
+    s_gap = np.asarray(1.0 / count)
+    gap_sum = fd.sum(axis=spatial_axes)
+    gap = gap_sum * s_gap
+
+    weight_t = classifier.weight.data.T
+    logits = gap @ weight_t
+    logits = logits + classifier.bias.data
+
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = logits.shape[0]
+    if targets.shape != (batch,):
+        raise ValueError(f"targets must have shape ({batch},), got {targets.shape}")
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    sumexp = exps.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(sumexp)
+    picked = log_probs[np.arange(batch), targets]
+    s_mean = np.asarray(1.0 / batch)
+    loss_data = -(picked.sum() * s_mean)
+
+    weight, bias = classifier.weight, classifier.bias
+    feats_shape, dtype = fd.shape, fd.dtype
+
+    def backward(g: np.ndarray):
+        # loss = -(picked.sum() * s_mean)
+        g_picked = np.broadcast_to((-g) * s_mean, (batch,)).astype(dtype)
+        # picked = log_probs[arange, targets]
+        g_logp = np.zeros(log_probs.shape, dtype=dtype)
+        np.add.at(g_logp, (np.arange(batch), targets), g_picked)
+        # log_probs = shifted - log(sumexp)
+        g_logse = (-g_logp).sum(axis=1, keepdims=True)
+        g_sumexp = g_logse / sumexp
+        g_exps = np.broadcast_to(g_sumexp, exps.shape).astype(dtype)
+        # shifted: direct contribution first, exp-path second (walk order)
+        g_shifted = g_logp + g_exps * exps
+        # shifted = logits - const(max); logits = gap @ W.T + bias
+        g_bias = g_shifted.sum(axis=0)
+        g_gap = g_shifted @ np.swapaxes(weight_t, -1, -2)
+        g_weight = (np.swapaxes(gap, -1, -2) @ g_shifted).transpose(1, 0)
+        # gap = feats.mean(spatial_axes)
+        g_gap_sum = g_gap * s_gap
+        for axis in sorted(spatial_axes):
+            g_gap_sum = np.expand_dims(g_gap_sum, axis)
+        g_feats = np.broadcast_to(g_gap_sum, feats_shape).astype(dtype)
+        return (g_feats, g_weight, g_bias)
+
+    return Tensor._make(loss_data, (feats, weight, bias), backward,
+                        name="gap_linear_ce")

@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import functional as F
+from . import fused as _fused
 from . import init
 from .tensor import Tensor, is_grad_enabled
 
@@ -236,6 +237,10 @@ class BatchNorm(Module):
         return (1, self.num_features) + (1,) * (x.ndim - 2)
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.training and is_grad_enabled() and _fused.is_fused_training():
+            # Training fast path of the fused engine: the composed ~15-node
+            # normalisation graph as a single bit-exact autograd node.
+            return _fused.batch_norm_training(self, x)
         if x.shape[1] != self.num_features:
             raise ValueError(
                 f"expected {self.num_features} channels, got {x.shape[1]}"
@@ -382,6 +387,23 @@ class Sequential(Module):
                     x = Tensor(F.fused_conv_bn_relu(x.data, module, modules[index + 1]),
                                name="conv_bn_relu")
                     index += 3
+                    continue
+                x = module(x)
+                index += 1
+            return x
+        if _fused.is_fused_training():
+            # Training fast path of the fused engine: fold BatchNorm -> ReLU
+            # pairs into one bit-exact node (the relu mask rides along on the
+            # batch-norm backward closure).
+            index, count = 0, len(modules)
+            while index < count:
+                module = modules[index]
+                if (index + 1 < count
+                        and isinstance(module, BatchNorm)
+                        and module.training
+                        and type(modules[index + 1]) is ReLU):
+                    x = _fused.batch_norm_training(module, x, relu=True)
+                    index += 2
                     continue
                 x = module(x)
                 index += 1

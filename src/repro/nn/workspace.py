@@ -1,0 +1,65 @@
+"""Reusable scratch buffers for the fused training pipeline.
+
+The im2col / col2im strategy of :mod:`repro.nn.functional` allocates a patch
+matrix on every convolution forward and a padded gradient image on every
+backward.  During training those allocations repeat with identical shapes on
+every mini-batch of every epoch, so a :class:`Workspace` lets the training
+engine check buffers out per step and return them afterwards instead of
+round-tripping through the allocator.
+
+Checkout semantics: :meth:`Workspace.acquire` hands out a buffer and marks it
+in use until :meth:`Workspace.release_all` — two convolution layers with the
+same patch shape therefore never alias within one forward/backward step, and
+a buffer is only ever reused *across* steps, after the autograd closures that
+captured it have run.  Buffer contents are either fully overwritten (im2col)
+or explicitly zero-filled (col2im) before use, so reuse is invisible to the
+numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class Workspace:
+    """A pool of shape-keyed scratch buffers with checkout semantics."""
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple, List[np.ndarray]] = {}
+        self._used: List[Tuple[Tuple, np.ndarray]] = []
+        #: Number of fresh allocations performed (reuse keeps this constant).
+        self.allocations = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Check a buffer of ``(shape, dtype)`` out until :meth:`release_all`."""
+        key = (tuple(shape), np.dtype(dtype))
+        stack = self._free.get(key)
+        if stack:
+            buffer = stack.pop()
+        else:
+            buffer = np.empty(key[0], dtype=key[1])
+            self.allocations += 1
+        self._used.append((key, buffer))
+        return buffer
+
+    def release_all(self) -> None:
+        """Return every checked-out buffer to the pool.
+
+        Call only once the autograd closures that captured the buffers have
+        run (i.e. after ``optimizer.step()`` of the current mini-batch).
+        """
+        for key, buffer in self._used:
+            self._free.setdefault(key, []).append(buffer)
+        self._used.clear()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently checked-out buffers."""
+        return len(self._used)
+
+    def nbytes(self) -> int:
+        """Total bytes held by the workspace (free and in use)."""
+        total = sum(b.nbytes for stack in self._free.values() for b in stack)
+        return total + sum(b.nbytes for _, b in self._used)

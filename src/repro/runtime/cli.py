@@ -208,8 +208,13 @@ def _build_scale(args: argparse.Namespace):
         overrides["n_runs"] = args.n_runs
     if args.k is not None:
         overrides["k_permutations"] = args.k
+    training_overrides = {}
     if args.epochs is not None:
-        overrides["training"] = replace(scale.training, epochs=args.epochs)
+        training_overrides["epochs"] = args.epochs
+    if args.engine is not None:
+        training_overrides["engine"] = args.engine
+    if training_overrides:
+        overrides["training"] = replace(scale.training, **training_overrides)
     return scale.with_overrides(**overrides) if overrides else scale
 
 
@@ -242,6 +247,10 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="override the scale's dCAM permutation count")
     parser.add_argument("--epochs", type=int, metavar="N",
                         help="override the scale's training epochs")
+    parser.add_argument("--engine", choices=["fused", "legacy"],
+                        help="training engine: the fused prepare-once pipeline "
+                             "(default) or the reference legacy loop "
+                             "(float-identical, for cross-checking)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the formatted table/figure output")
 
