@@ -374,6 +374,7 @@ def compute_dcam(model: "ConvBackboneClassifier", series: np.ndarray, class_id: 
 def compute_dcam_batch(model: "ConvBackboneClassifier", X: np.ndarray,
                        class_ids: Sequence[int], k: int = 100,
                        rng: Optional[np.random.Generator] = None,
+                       permutations: Optional[Sequence[Sequence[np.ndarray]]] = None,
                        use_only_correct: bool = False,
                        batch_size: int = DEFAULT_BATCH_SIZE) -> List[DCAMResult]:
     """Compute dCAM for every series of a batch ``(instances, D, n)``.
@@ -383,6 +384,13 @@ def compute_dcam_batch(model: "ConvBackboneClassifier", X: np.ndarray,
     and the model is driven at full batch width throughout.  Instances are
     processed in groups sized so that the materialised permuted-series and CAM
     arrays stay within a soft memory cap.
+
+    ``permutations`` optionally supplies one explicit permutation sequence per
+    instance (overriding ``k``/``rng``), mirroring :func:`compute_dcam`'s
+    parameter.  The serving layer uses this to batch requests that each carry
+    their own permutation seed: instance ``i``'s result then matches
+    ``compute_dcam(model, X[i], class_ids[i], permutations=permutations[i])``.
+    Instances may bring different permutation counts.
     """
     X = np.asarray(X, dtype=np.float64)
     if len(X) != len(class_ids):
@@ -390,39 +398,53 @@ def compute_dcam_batch(model: "ConvBackboneClassifier", X: np.ndarray,
     if X.ndim != 3:
         raise ValueError(f"X must be (instances, D, n), got shape {X.shape}")
     _require_d_architecture(model)
-    rng = rng or np.random.default_rng()
     n_instances, n_dimensions, length = X.shape
     model.eval()
 
-    # Draw each instance's permutations in sequence (matching the legacy
-    # one-instance-at-a-time behaviour for a given generator state).
-    per_instance_orders = [
-        _stack_orders(random_permutations(n_dimensions, k, rng), n_dimensions)
-        for _ in range(n_instances)
-    ]
+    if permutations is None:
+        # Draw each instance's permutations in sequence (matching the legacy
+        # one-instance-at-a-time behaviour for a given generator state).
+        rng = rng or np.random.default_rng()
+        per_instance_orders = [
+            _stack_orders(random_permutations(n_dimensions, k, rng), n_dimensions)
+            for _ in range(n_instances)
+        ]
+    else:
+        if len(permutations) != n_instances:
+            raise ValueError(
+                f"permutations must supply one sequence per instance "
+                f"({n_instances}), got {len(permutations)}"
+            )
+        per_instance_orders = [
+            _stack_orders(orders, n_dimensions) for orders in permutations
+        ]
     class_ids = [int(c) for c in class_ids]
+    counts = [len(orders) for orders in per_instance_orders]
 
-    # Permuted series + CAM stacks cost ~2 * k * D * n * 8 bytes per instance.
-    bytes_per_instance = 2 * k * n_dimensions * length * 8
+    # Permuted series + CAM stacks cost ~2 * k_i * D * n * 8 bytes per instance.
+    max_count = max(counts) if counts else 0
+    bytes_per_instance = 2 * max_count * n_dimensions * length * 8
     group = max(1, _BATCH_MATERIALIZE_BYTES // max(1, bytes_per_instance))
 
     results: List[DCAMResult] = []
     for first in range(0, n_instances, group):
         last = min(first + group, n_instances)
         orders_flat = np.concatenate(per_instance_orders[first:last], axis=0)
-        instance_flat = np.repeat(np.arange(first, last), k)
-        permuted_flat = X[instance_flat[:, None], orders_flat]  # (G*k, D, n)
-        weights_flat = model.class_weights[np.repeat(class_ids[first:last], k)]
+        instance_flat = np.repeat(np.arange(first, last), counts[first:last])
+        permuted_flat = X[instance_flat[:, None], orders_flat]  # (sum k_i, D, n)
+        weights_flat = model.class_weights[np.repeat(class_ids[first:last], counts[first:last])]
         cams_flat, predicted_flat = _permutation_cams_batched(
             model, permuted_flat, weights_flat, batch_size
         )
-        for offset, index in enumerate(range(first, last)):
-            start, stop = offset * k, (offset + 1) * k
+        start = 0
+        for index in range(first, last):
+            stop = start + counts[index]
             results.append(
                 _assemble_result(cams_flat[start:stop], per_instance_orders[index],
                                  predicted_flat[start:stop], class_ids[index],
                                  use_only_correct)
             )
+            start = stop
     return results
 
 

@@ -77,6 +77,17 @@ class Explainer:
         payload.  The dCAM payload (the ``(D, D, n)`` ``M̄`` tensor) dominates
         memory when many instances are explained at once, so bulk evaluation
         turns it off.
+    cache:
+        Optional content-addressed byte store (any object with
+        ``get(key) -> Optional[bytes]`` and ``put(key, blob)``, e.g.
+        :class:`repro.serve.cache.ExplanationCache`).  Families that support
+        sub-explanation reuse consult it: the dCAM family caches *per
+        permutation* — keyed on the model-state hash, the instance bytes, the
+        class and the permutation — so re-explaining the same instance with a
+        larger ``k`` (Figure 10's per-``k`` sweep) only forwards the
+        permutations not seen before.  Families without reusable
+        sub-computations ignore it; the serving layer caches their whole
+        responses instead.
     """
 
     #: Registry key; set by the :func:`repro.explain.registry.register_explainer`
@@ -86,12 +97,14 @@ class Explainer:
     def __init__(self, model, *, k: int = DEFAULT_K,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  rng: Optional[np.random.Generator] = None,
-                 keep_details: bool = True) -> None:
+                 keep_details: bool = True,
+                 cache: Optional[object] = None) -> None:
         self.model = model
         self.k = int(k)
         self.batch_size = max(1, int(batch_size))
         self.rng = rng
         self.keep_details = bool(keep_details)
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # Interface

@@ -96,7 +96,8 @@ def evaluate_explainer(model, test, scale=None, *, target_class: int = 1,
                        batch_size: Optional[int] = None,
                        rng: Optional[np.random.Generator] = None,
                        random_state: Optional[int] = None,
-                       batched: bool = True) -> ExplanationReport:
+                       batched: bool = True,
+                       cache=None) -> ExplanationReport:
     """Average Dr-acc of ``model`` over explainable instances of ``test``.
 
     Parameters
@@ -117,6 +118,11 @@ def evaluate_explainer(model, test, scale=None, *, target_class: int = 1,
         If True (default) the instances go through the explainer's batch
         engine; otherwise they are explained one at a time.  Both paths agree
         to float round-off (≤ 1e-10).
+    cache:
+        Optional content-addressed byte store forwarded to the explainer (see
+        :class:`repro.explain.base.Explainer`); the dCAM family reuses cached
+        permutation CAMs across repeated evaluations of the same model and
+        instances (e.g. Figure 10's per-``k`` sweep).
     """
     if n_instances is None and scale is not None:
         n_instances = scale.n_explained_instances
@@ -133,7 +139,7 @@ def evaluate_explainer(model, test, scale=None, *, target_class: int = 1,
     # payloads (for dCAM the (D, D, n) M̄ tensors) instead of holding every
     # instance's at once.
     explainer = get_explainer(model, k=k, batch_size=batch_size, rng=rng,
-                              keep_details=False)
+                              keep_details=False, cache=cache)
     if batched:
         explanations = explainer.explain_batch(test.X[indices], class_ids)
     else:

@@ -32,7 +32,7 @@ from .layers import (
 from .loss import CrossEntropyLoss, cross_entropy, mse_loss, nll_loss
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .recurrent import GRUCell, LSTMCell, RecurrentLayer, RNNCell
-from .serialization import load_state_dict, save_state_dict
+from .serialization import load_state_dict, save_state_dict, state_hash
 from .workspace import Workspace
 from .tensor import (
     Tensor,
@@ -90,6 +90,7 @@ __all__ = [
     "clip_grad_norm",
     "save_state_dict",
     "load_state_dict",
+    "state_hash",
     "Workspace",
     "fused_training",
     "is_fused_training",

@@ -1,29 +1,77 @@
-"""Saving and loading model weights as ``.npz`` archives."""
+"""Saving and loading model weights as ``.npz`` archives.
+
+The archive stores every parameter and buffer under its dotted
+:meth:`Module.state_dict` name, plus one metadata entry (``__training__``)
+recording the module's train/eval mode, so a save → load round-trip restores
+trained models *exactly*: parameters, BatchNorm running statistics and the
+mode that selects between batch and running statistics.  The serving layer's
+model artifact store builds on this file format and on :func:`state_hash`,
+the canonical content fingerprint of a model's state.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
 
 from .layers import Module
+
+#: Archive key carrying the train/eval mode (not part of the state dict).
+_TRAINING_KEY = "__training__"
 
 
 def save_state_dict(module: Module, path: str) -> None:
     """Serialise all parameters and buffers of ``module`` to ``path``.
 
     The file is a standard NumPy ``.npz`` archive whose keys are the
-    dotted parameter names returned by :meth:`Module.named_parameters`.
+    dotted parameter names returned by :meth:`Module.named_parameters`
+    (buffers are prefixed ``buffer.``), plus the train/eval mode flag.
     """
     state = module.state_dict()
+    state[_TRAINING_KEY] = np.array(module.training, dtype=bool)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez(path, **state)
 
 
 def load_state_dict(module: Module, path: str) -> None:
-    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    """Load parameters saved by :func:`save_state_dict` into ``module``.
+
+    Restores the saved train/eval mode as well (archives written before the
+    mode flag existed leave the module's current mode untouched), so a
+    loaded model reproduces the original's ``logits`` and explanation
+    outputs bit for bit.
+    """
     with np.load(path) as archive:
         state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    training = state.pop(_TRAINING_KEY, None)
     module.load_state_dict(state)
+    if training is not None:
+        if bool(training):
+            module.train()
+        else:
+            module.eval()
+
+
+def state_hash(model_or_state: Union[Module, Dict[str, np.ndarray]]) -> str:
+    """Canonical SHA-256 fingerprint of a module's (or state dict's) content.
+
+    Folds in every entry's name, dtype, shape and raw bytes in state-dict
+    order, so two models hash equal exactly when their parameters and buffers
+    are bit-identical.  This is the ``model-state`` component of the serving
+    layer's content-addressed explanation cache keys: a retrained or
+    fine-tuned model can never replay a stale cached explanation.
+    """
+    state = model_or_state.state_dict() if isinstance(model_or_state, Module) else model_or_state
+    digest = hashlib.sha256()
+    for name, value in state.items():
+        value = np.ascontiguousarray(value)
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()

@@ -19,7 +19,7 @@ byte-identical to cold runs.  The ``python -m repro`` CLI exposes the whole
 experiment suite on top of this API.
 """
 
-from .api import run
+from .api import progress_hooks, run
 from .cache import CacheStats, ResultCache
 from .executor import (
     Executor,
@@ -45,6 +45,7 @@ from .spec import (
 
 __all__ = [
     "run",
+    "progress_hooks",
     "ResultCache",
     "CacheStats",
     "Executor",

@@ -10,15 +10,22 @@ mutation of a previously returned result.
 Because the fingerprint covers everything that determines a result, drivers
 that share a protocol share entries: Figure 9 re-running the Table 3 sweep
 through the same cache performs no training at all.
+
+Both tiers are optionally size-bounded with least-recently-used eviction
+(``max_memory_bytes`` / ``max_disk_bytes``) via the shared
+:class:`~repro.runtime.eviction.TieredByteStore` (the serving layer's
+explanation cache runs on the same store); the defaults keep the historical
+unbounded behaviour.  Disk recency is file mtime, bumped on every hit, so
+long-running fleets sharing one ``--cache-dir`` retain their hot working set.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
-import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple
+
+from .eviction import TieredByteStore
 
 
 @dataclass
@@ -44,28 +51,31 @@ class ResultCache:
         If given, every entry is also persisted as
         ``<directory>/<fingerprint>.pkl`` and lookups fall back to disk, so
         the cache survives across processes and CLI invocations.
+    max_memory_bytes:
+        Optional bound on the in-memory tier; least-recently-used entries are
+        dropped (they remain on disk when a directory is configured).
+    max_disk_bytes:
+        Optional bound on the disk tier; least-recently-used entry files are
+        deleted after every store.  ``None`` (the default) never evicts.
     """
 
     directory: Optional[str] = None
-    _memory: Dict[str, bytes] = field(default_factory=dict, repr=False)
+    max_memory_bytes: Optional[int] = None
+    max_disk_bytes: Optional[int] = None
+    _store: TieredByteStore = field(default=None, repr=False)  # type: ignore[assignment]
     stats: CacheStats = field(default_factory=CacheStats, repr=False)
 
     def __post_init__(self) -> None:
-        if self.directory:
-            os.makedirs(self.directory, exist_ok=True)
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.pkl")
+        self._store = TieredByteStore(
+            directory=self.directory,
+            suffix=".pkl",
+            max_memory_bytes=self.max_memory_bytes,
+            max_disk_bytes=self.max_disk_bytes,
+        )
 
     def get_blob(self, key: str) -> Optional[bytes]:
         """The stored pickle bytes for ``key`` (None on miss); counts stats."""
-        blob = self._memory.get(key)
-        if blob is None and self.directory:
-            path = self._path(key)
-            if os.path.exists(path):
-                with open(path, "rb") as handle:
-                    blob = handle.read()
-                self._memory[key] = blob
+        blob = self._store.get(key)
         if blob is None:
             self.stats.misses += 1
         else:
@@ -82,31 +92,15 @@ class ResultCache:
     def store(self, key: str, result: Any) -> bytes:
         """Pickle ``result`` under ``key``; returns the stored bytes."""
         blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        self._memory[key] = blob
-        if self.directory:
-            # Write-then-rename so concurrent CLI runs never read a torn file.
-            fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp_path, self._path(key))
-            finally:
-                if os.path.exists(tmp_path):
-                    os.unlink(tmp_path)
+        self._store.put(key, blob)
         self.stats.stores += 1
         return blob
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
-        return bool(self.directory) and os.path.exists(self._path(key))
+        return key in self._store
 
     def __len__(self) -> int:
-        keys = set(self._memory)
-        if self.directory:
-            keys.update(name[:-len(".pkl")] for name in os.listdir(self.directory)
-                        if name.endswith(".pkl"))
-        return len(keys)
+        return len(self._store)
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

@@ -6,6 +6,8 @@ Examples::
     python -m repro run table3 --scale tiny --workers 4 --json out.json
     python -m repro run figure9 --scale small --workers 8 --cache-dir .repro-cache
     python -m repro run table3 --models resnet,dcnn --dimensions 4 --epochs 5
+    python -m repro export-model --model dcnn --scale tiny --store ./models
+    python -m repro serve --store ./models --port 8080
 
 Every experiment goes through the :mod:`repro.runtime` job-graph executor:
 ``--workers N`` fans the independent (dataset, model, seed) cells out over a
@@ -13,6 +15,11 @@ process pool (serial and parallel runs produce identical numbers), and
 ``--cache-dir`` enables the content-addressed result cache so drivers sharing
 a protocol (Table 3 / Figure 9, Table 2 / Figure 8) and repeated invocations
 reuse trained-model results.
+
+``export-model`` trains (or loads from the result cache) one classifier and
+registers it into a :class:`repro.serve.ModelArtifactStore`; ``serve`` answers
+classify/explain requests over HTTP from such a store (see
+:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -251,6 +258,9 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="training engine: the fused prepare-once pipeline "
                              "(default) or the reference legacy loop "
                              "(float-identical, for cross-checking)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per finished work unit plus the "
+                             "run's telemetry counters")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the formatted table/figure output")
 
@@ -289,7 +299,23 @@ def _command_run(args: argparse.Namespace) -> int:
           + (f" cache={args.cache_dir}" if args.cache_dir else ""),
           file=sys.stderr)
     start = time.perf_counter()
-    result = entry.run(scale, args, executor, cache)
+    if args.progress:
+        from ..telemetry import Telemetry
+        from .api import progress_hooks
+
+        telemetry = Telemetry()
+
+        def on_unit(index, total, unit, source):
+            print(f"[repro] unit {index + 1}/{total} {unit.describe()} [{source}]",
+                  file=sys.stderr)
+
+        with progress_hooks(telemetry, on_unit):
+            result = entry.run(scale, args, executor, cache)
+        counters = ", ".join(f"{name}={value}" for name, value in
+                             sorted(telemetry.snapshot().items()))
+        print(f"[repro] telemetry: {counters}", file=sys.stderr)
+    else:
+        result = entry.run(scale, args, executor, cache)
     elapsed = time.perf_counter() - start
     cache_line = ""
     if cache is not None:
@@ -322,6 +348,150 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="model artifact store directory (created if missing)")
+    parser.add_argument("--model", required=True, metavar="NAME",
+                        help="architecture to train/export (see repro.models)")
+    parser.add_argument("--name", metavar="ARTIFACT",
+                        help="artifact name (default: <model>-<scale>)")
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"],
+                        help="experiment scale preset (default: tiny)")
+    parser.add_argument("--seed-name", default="starlight",
+                        help="synthetic seed dataset to train on (default: starlight)")
+    parser.add_argument("--dataset-type", type=int, default=1, choices=[1, 2],
+                        help="synthetic benchmark type (default: 1)")
+    parser.add_argument("--dimensions", type=int, metavar="D",
+                        help="number of dimensions (default: the scale's synthetic D)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="config seed the training run derives from (default: 0)")
+    parser.add_argument("--random-state", type=int, default=0,
+                        help="random state baked into the scale preset (default: 0)")
+    parser.add_argument("--epochs", type=int, metavar="N",
+                        help="override the scale's training epochs")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="runtime result cache: re-exports (and sweeps that "
+                             "already trained this configuration) skip training")
+    parser.add_argument("--overwrite", action="store_true",
+                        help="replace an existing artifact of the same name")
+
+
+def _command_export_model(args: argparse.Namespace) -> int:
+    from ..experiments import get_scale
+    from ..models.registry import available_models, create_model
+    from ..serve.engine import probe_batch_parity
+    from ..serve.store import ModelArtifactStore
+    from .api import run as run_spec
+    from .spec import ExperimentSpec, WorkUnit
+
+    if args.model not in available_models():
+        print(f"error: unknown model {args.model!r}; "
+              f"choose from: {', '.join(available_models())}", file=sys.stderr)
+        return 2
+    scale = get_scale(args.scale, random_state=args.random_state)
+    if args.epochs is not None:
+        scale = scale.with_overrides(training=replace(scale.training, epochs=args.epochs))
+    n_dimensions = args.dimensions or scale.synthetic.n_dimensions
+    unit = WorkUnit.create(
+        "trained_model_state", seed_name=args.seed_name,
+        dataset_type=args.dataset_type, n_dimensions=n_dimensions,
+        model_name=args.model, config_seed=args.base_seed)
+    spec = ExperimentSpec(name="export-model", scale=scale, units=(unit,))
+    cache = ResultCache(directory=args.cache_dir) if args.cache_dir else None
+
+    print(f"[repro] training {args.model} at scale={scale.name} "
+          f"(D={n_dimensions}, type={args.dataset_type}, seed={args.base_seed})"
+          + (f" cache={args.cache_dir}" if args.cache_dir else ""), file=sys.stderr)
+    start = time.perf_counter()
+    payload = run_spec(spec, cache=cache)[0]
+    trained = "cache" if cache is not None and cache.stats.hits else "trained"
+    print(f"[repro] model state ready in {time.perf_counter() - start:.2f}s "
+          f"[{trained}]", file=sys.stderr)
+
+    model = create_model(args.model, payload["n_dimensions"], payload["length"],
+                         payload["n_classes"], **scale.model_kwargs(args.model))
+    model.load_state_dict(payload["state"])
+    if payload.get("training_mode"):
+        model.train()
+    else:
+        model.eval()
+    parity = probe_batch_parity(model)
+    store = ModelArtifactStore(args.store)
+    artifact_name = args.name or f"{args.model}-{scale.name}"
+    artifact = store.register(
+        artifact_name, model, model_name=args.model,
+        metadata={
+            "model_kwargs": scale.model_kwargs(args.model),
+            "scale": scale.name,
+            "seed_name": args.seed_name,
+            "dataset_type": args.dataset_type,
+            "config_seed": args.base_seed,
+            "dataset_fingerprint": payload["dataset_fingerprint"],
+            "epochs_run": payload["epochs_run"],
+            "default_k": scale.k_permutations,
+            "batch_parity": parity.to_json(),
+        },
+        overwrite=args.overwrite)
+    print(f"[repro] registered {artifact_name!r} in {args.store} "
+          f"(state {artifact.state_hash[:12]}…, family {artifact.explainer_family}, "
+          f"batch parity {parity.to_json()})", file=sys.stderr)
+    return 0
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="model artifact store directory (see export-model)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port; 0 picks an ephemeral port (default: 8080)")
+    parser.add_argument("--max-batch-size", type=int, default=8, metavar="N",
+                        help="micro-batcher flush threshold; 1 disables "
+                             "coalescing (default: 8)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0, metavar="MS",
+                        help="max milliseconds a queued request waits for "
+                             "companions (default: 2)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persist the explanation cache here (memory-only "
+                             "otherwise)")
+    parser.add_argument("--cache-memory-mb", type=float, default=64.0, metavar="MB",
+                        help="LRU bound of the in-memory cache tier (default: 64)")
+    parser.add_argument("--cache-disk-mb", type=float, metavar="MB",
+                        help="LRU bound of the on-disk cache tier (default: unbounded)")
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from ..serve.cache import ExplanationCache
+    from ..serve.http import run_server
+    from ..serve.service import ExplanationService, ServeConfig
+    from ..serve.store import ModelArtifactStore
+
+    store = ModelArtifactStore(args.store)
+    names = store.list_names()
+    if not names:
+        print(f"error: no model artifacts in {args.store!r}; register one with "
+              "`python -m repro export-model` first", file=sys.stderr)
+        return 2
+    cache = ExplanationCache(
+        directory=args.cache_dir,
+        max_memory_bytes=int(args.cache_memory_mb * 1024 * 1024),
+        max_disk_bytes=(None if args.cache_disk_mb is None
+                        else int(args.cache_disk_mb * 1024 * 1024)))
+    config = ServeConfig(max_batch_size=args.max_batch_size,
+                         max_wait_ms=args.max_wait_ms)
+    service = ExplanationService(store, cache=cache, config=config)
+    print(f"[repro] serving {len(names)} model(s) from {args.store}: "
+          f"{', '.join(names)}", file=sys.stderr)
+
+    def announce(host, port):
+        print(f"[repro] listening on http://{host}:{port} "
+              f"(/models /classify /explain /healthz /metrics; Ctrl-C stops)",
+              file=sys.stderr)
+
+    run_server(service, args.host, args.port, announce=announce)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -334,10 +504,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Run one table/figure driver through the repro.runtime "
                     "executor.")
     _add_run_arguments(run_parser)
+    export_parser = subparsers.add_parser(
+        "export-model", help="train (or load) a model and register it for serving",
+        description="Train one classifier on the synthetic benchmark — or load "
+                    "its state from the runtime result cache — and register it "
+                    "into a serve model store.")
+    _add_export_arguments(export_parser)
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve classify/explain requests over HTTP",
+        description="Serve the models of an artifact store with dynamic "
+                    "micro-batching and a content-addressed explanation cache.")
+    _add_serve_arguments(serve_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _command_list()
+    if args.command == "export-model":
+        return _command_export_model(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return _command_run(args)
 
 

@@ -1,0 +1,50 @@
+"""Online explanation serving: artifact store, micro-batching, caching, HTTP.
+
+The paper's pitch is that dCAM makes multivariate-series explanation cheap
+enough for interactive use; this package is the online path that cashes that
+in.  A trained classifier registered in a :class:`ModelArtifactStore` is
+served by an :class:`ExplanationService` that
+
+* lazily loads and warm-caches model artifacts,
+* coalesces concurrent classify/explain requests into single batched engine
+  calls via a dynamic :class:`MicroBatcher` (responses are byte-identical to
+  per-request execution — see :mod:`repro.serve.engine`),
+* answers repeated work from a content-addressed :class:`ExplanationCache`
+  (memory + disk tiers, LRU-bounded), and
+* exposes everything over a stdlib JSON/HTTP server (:mod:`repro.serve.http`).
+
+Command-line entry points: ``python -m repro export-model`` registers a
+trained model into a store; ``python -m repro serve`` serves one.
+"""
+
+from .batcher import MicroBatcher
+from .cache import ExplanationCache, content_key, response_cache_key
+from .engine import ParityReport, probe_batch_parity, serve_logits
+from .http import ServiceHTTPServer, make_server, run_server, serve_in_background
+from .service import (
+    ClassifyResponse,
+    ExplainResponse,
+    ExplanationService,
+    ServeConfig,
+)
+from .store import ModelArtifact, ModelArtifactStore
+
+__all__ = [
+    "ModelArtifact",
+    "ModelArtifactStore",
+    "ExplanationCache",
+    "content_key",
+    "response_cache_key",
+    "MicroBatcher",
+    "ExplanationService",
+    "ServeConfig",
+    "ClassifyResponse",
+    "ExplainResponse",
+    "ParityReport",
+    "probe_batch_parity",
+    "serve_logits",
+    "ServiceHTTPServer",
+    "make_server",
+    "serve_in_background",
+    "run_server",
+]

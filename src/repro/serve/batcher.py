@@ -1,0 +1,207 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one engine call.
+
+Requests enter through :meth:`MicroBatcher.submit`, which returns a
+:class:`concurrent.futures.Future` immediately.  A single worker thread
+drains the queue, groups requests by their *group key* (the serving layer
+uses ``(artifact name, request kind)``) and flushes a group to the
+``execute`` callable when either
+
+* the group reaches ``max_batch_size`` requests, or
+* its oldest request has waited ``max_wait_ms`` milliseconds.
+
+The wait bound is what makes the batching *dynamic*: under load, flushes are
+full batches amortising one model forward over many requests; a lone request
+only ever pays the wait bound on top of its own execution.  With
+``max_batch_size=1`` every request flushes immediately — the serial
+per-request dispatch mode the throughput benchmark compares against.
+
+The ``execute(group_key, requests)`` callable runs on the worker thread and
+must return one result per request (order-preserving); an exception fails
+every future of the flush.  Results must not depend on how requests were
+grouped — the engine layer (:mod:`repro.serve.engine`) guarantees that.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..telemetry import Telemetry
+
+#: Default flush bounds: large enough to fill under concurrent load, small
+#: enough that an isolated request barely notices.
+DEFAULT_MAX_BATCH_SIZE = 8
+DEFAULT_MAX_WAIT_MS = 2.0
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Pending:
+    request: Any
+    future: Future
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class MicroBatcher:
+    """Queue + worker thread coalescing requests per group key.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(group_key, requests) -> results`` — evaluated on the worker
+        thread with between 1 and ``max_batch_size`` requests per call.
+    max_batch_size:
+        Flush threshold; ``1`` disables coalescing (serial dispatch).
+    max_wait_ms:
+        Upper bound on how long the oldest queued request of a group may wait
+        for companions before its partial batch is flushed.
+    telemetry:
+        Optional shared registry; the batcher counts ``batches_flushed``,
+        ``batched_requests``, ``flushes_full`` and ``flushes_timed_out``.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Hashable, List[Any]], List[Any]],
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self._execute = execute
+        self.max_batch_size = max(1, int(max_batch_size))
+        self.max_wait = max(0.0, float(max_wait_ms)) / 1000.0
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        # Serialises submit's closed-check+enqueue against close's
+        # closed-set+shutdown-marker: every accepted request is enqueued
+        # *before* the marker, so the worker's shutdown drain flushes it and
+        # no future is ever stranded by a submit/close race.
+        self._lifecycle = threading.Lock()
+        self._worker = threading.Thread(target=self._loop, name="repro-serve-batcher", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, group_key: Hashable, request: Any) -> "Future":
+        """Enqueue ``request`` under ``group_key``; resolve via the future."""
+        pending = _Pending(request=request, future=Future())
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.put((group_key, pending))
+        return pending.future
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Flush everything still queued and stop the worker thread.
+
+        Waits for in-flight flushes by default; pass ``timeout`` to bound the
+        wait — anything still queued when it expires fails with
+        :class:`RuntimeError` instead of leaving callers blocked.
+        """
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+        while True:  # only reachable when the join timed out
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                _, entry = item
+                entry.future.set_exception(RuntimeError("MicroBatcher is closed"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _flush(self, group_key: Hashable, batch: List[_Pending], reason: str) -> None:
+        self.telemetry.increment("batches_flushed")
+        self.telemetry.increment("batched_requests", len(batch))
+        self.telemetry.increment(f"flushes_{reason}")
+        try:
+            results = self._execute(group_key, [pending.request for pending in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"execute returned {len(results)} results for {len(batch)} requests"
+                )
+        except BaseException as error:  # noqa: BLE001 - forwarded per future below
+            if len(batch) == 1:
+                batch[0].future.set_exception(error)
+                return
+            # One bad request must not fail its coalesced companions: retry
+            # the batch one request at a time so only the offender errors.
+            # Nothing was resolved yet, so re-execution never double-serves.
+            self.telemetry.increment("flush_error_isolations")
+            for pending in batch:
+                try:
+                    result = self._execute(group_key, [pending.request])[0]
+                except BaseException as single_error:  # noqa: BLE001
+                    pending.future.set_exception(single_error)
+                else:
+                    pending.future.set_result(result)
+            return
+        for pending, result in zip(batch, results):
+            pending.future.set_result(result)
+
+    def _loop(self) -> None:
+        pending: Dict[Hashable, List[_Pending]] = {}
+
+        def oldest_deadline() -> Optional[float]:
+            if not pending:
+                return None
+            return min(batch[0].enqueued_at for batch in pending.values()) + self.max_wait
+
+        shutdown = False
+        while True:
+            deadline = oldest_deadline()
+            timeout = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                item = None
+            # Drain everything already queued before deciding what to flush:
+            # requests that piled up while the previous flush executed should
+            # coalesce, not trickle out one per loop iteration as their wait
+            # deadlines expire.
+            while item is not None:
+                if item is _SHUTDOWN:
+                    shutdown = True
+                else:
+                    group_key, entry = item
+                    batch = pending.setdefault(group_key, [])
+                    batch.append(entry)
+                    if len(batch) >= self.max_batch_size:
+                        del pending[group_key]
+                        self._flush(group_key, batch, "full")
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    item = None
+            now = time.perf_counter()
+            for group_key in list(pending):
+                batch = pending[group_key]
+                if shutdown or now - batch[0].enqueued_at >= self.max_wait:
+                    del pending[group_key]
+                    self._flush(group_key, batch, "shutdown" if shutdown else "timed_out")
+            if shutdown:
+                return
+
+
+def group_key_of(model_name: str, kind: str) -> Tuple[str, str]:
+    """The canonical grouping key: one flush never mixes models or kinds."""
+    return (model_name, kind)

@@ -1,0 +1,176 @@
+"""Stdlib HTTP front-end for the explanation service.
+
+A thin JSON-over-HTTP adapter on :class:`~repro.serve.service.ExplanationService`
+built on :class:`http.server.ThreadingHTTPServer` (one thread per connection,
+so concurrent clients genuinely reach the micro-batcher concurrently — no
+third-party web framework needed).
+
+Routes
+------
+``GET /healthz``
+    Liveness: ``{"status": "ok", "models": N}``.
+``GET /models``
+    Artifact records of every registered model.
+``GET /metrics``
+    The shared telemetry snapshot (request / batch / cache counters).
+``POST /classify``
+    ``{"model": name, "instance": [[...], ...]}`` →
+    logits, prediction and class probabilities.
+``POST /explain``
+    ``{"model": name, "instance": [[...], ...], "class_id"?, "k"?, "seed"?}``
+    → the ``(D, n)`` heatmap plus the dCAM success ratio where applicable.
+
+Errors map to JSON bodies: 400 for malformed requests, 404 for unknown
+routes/models, 500 otherwise.  Arrays travel as nested JSON lists; numbers
+round-trip exactly (``repr``-based float serialisation on both sides).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+
+from .service import ExplanationService
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handler threads."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: ExplanationService) -> None:
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # Quieter than the default stderr-per-request logging; the service's
+    # telemetry counters are the intended observability surface.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, service.healthz())
+            elif self.path == "/metrics":
+                self._send_json(200, service.metrics())
+            elif self.path == "/models":
+                self._send_json(200, {"models": service.models()})
+            else:
+                self._send_json(404, {"error": f"unknown route {self.path!r}"})
+        except Exception as error:  # noqa: BLE001 - boundary of the process
+            self._send_json(500, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        try:
+            payload = self._read_json()
+            if self.path == "/classify":
+                self._send_json(200, self._classify(service, payload))
+            elif self.path == "/explain":
+                self._send_json(200, self._explain(service, payload))
+            else:
+                self._send_json(404, {"error": f"unknown route {self.path!r}"})
+        except KeyError as error:
+            self._send_json(404, {"error": str(error.args[0]) if error.args else str(error)})
+        except (ValueError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - boundary of the process
+            self._send_json(500, {"error": str(error)})
+
+    @staticmethod
+    def _required(payload: Dict[str, Any], *names: str) -> None:
+        missing = [name for name in names if name not in payload]
+        if missing:
+            raise ValueError(f"missing request field(s): {', '.join(missing)}")
+
+    def _classify(self, service: ExplanationService, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._required(payload, "model", "instance")
+        response = service.classify(payload["model"], payload["instance"])
+        return {
+            "model": response.model,
+            "predicted": response.predicted,
+            "logits": response.logits.tolist(),
+            "probabilities": response.probabilities.tolist(),
+            "cached": response.cached,
+        }
+
+    def _explain(self, service: ExplanationService, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._required(payload, "model", "instance")
+        response = service.explain(
+            payload["model"], payload["instance"],
+            class_id=payload.get("class_id"),
+            k=payload.get("k"), seed=payload.get("seed"),
+        )
+        return {
+            "model": response.model,
+            "family": response.family,
+            "class_id": response.class_id,
+            "heatmap": response.heatmap.tolist(),
+            "success_ratio": response.success_ratio,
+            "k": response.k,
+            "seed": response.seed,
+            "cached": response.cached,
+        }
+
+
+def make_server(service: ExplanationService, host: str = "127.0.0.1",
+                port: int = 0) -> ServiceHTTPServer:
+    """Bind a :class:`ServiceHTTPServer` (``port=0`` picks an ephemeral port)."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve_in_background(service: ExplanationService, host: str = "127.0.0.1",
+                        port: int = 0) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Start a server thread; returns ``(server, thread)`` — callers own shutdown."""
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever, name="repro-serve-http", daemon=True)
+    thread.start()
+    return server, thread
+
+
+def run_server(service: ExplanationService, host: str, port: int, announce=None) -> None:
+    """Blocking ``serve_forever`` with Ctrl-C shutdown (the CLI entry point)."""
+    server = make_server(service, host, port)
+    if announce is not None:
+        actual_host, actual_port = server.server_address[:2]
+        announce(actual_host, actual_port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

@@ -1,0 +1,213 @@
+"""Model artifact store: persist trained classifiers, reload them by name.
+
+One artifact is a directory ``<store>/<name>/`` holding
+
+* ``weights.npz`` — the full trained state via
+  :func:`repro.nn.serialization.save_state_dict` (parameters, BatchNorm
+  running statistics and the train/eval mode, so a reload reproduces
+  ``logits`` and explanation outputs bit for bit), and
+* ``artifact.json`` — everything needed to rebuild and serve the model:
+  registry model name, problem shape, constructor kwargs, the declared
+  ``explainer_family``, the content :func:`~repro.nn.serialization.state_hash`
+  of the saved state, plus free-form metadata (dataset fingerprint, scale,
+  batch-parity probe results, ...).
+
+Loads are lazy and warm-cached: the first request for a model pays the
+rebuild + weight load, subsequent requests reuse the live instance.  The
+state hash recorded at registration is verified on load, so a corrupted or
+hand-edited artifact fails loudly instead of serving wrong explanations — and
+the same hash is the model component of every explanation-cache key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..models.base import BaseClassifier
+from ..models.registry import create_model
+from ..nn.serialization import load_state_dict, save_state_dict, state_hash
+
+_WEIGHTS_FILE = "weights.npz"
+_ARTIFACT_FILE = "artifact.json"
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass
+class ModelArtifact:
+    """Metadata of one stored model (the parsed ``artifact.json``)."""
+
+    name: str
+    model_name: str
+    n_dimensions: int
+    length: int
+    n_classes: int
+    model_kwargs: Dict[str, Any] = field(default_factory=dict)
+    explainer_family: Optional[str] = None
+    state_hash: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "model_name": self.model_name,
+            "n_dimensions": self.n_dimensions,
+            "length": self.length,
+            "n_classes": self.n_classes,
+            "model_kwargs": self.model_kwargs,
+            "explainer_family": self.explainer_family,
+            "state_hash": self.state_hash,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "ModelArtifact":
+        return cls(
+            name=payload["name"],
+            model_name=payload["model_name"],
+            n_dimensions=int(payload["n_dimensions"]),
+            length=int(payload["length"]),
+            n_classes=int(payload["n_classes"]),
+            model_kwargs=dict(payload.get("model_kwargs") or {}),
+            explainer_family=payload.get("explainer_family"),
+            state_hash=payload.get("state_hash", ""),
+            metadata=dict(payload.get("metadata") or {}),
+        )
+
+
+class ModelArtifactStore:
+    """Directory-backed registry of trained models with a warm load cache."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._loaded: Dict[str, BaseClassifier] = {}
+        self._artifacts: Dict[str, ModelArtifact] = {}
+
+    # ------------------------------------------------------------------
+    # Paths / listing
+    # ------------------------------------------------------------------
+    def _artifact_dir(self, name: str) -> str:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid artifact name {name!r}; use letters, digits, '.', '_', '-'"
+            )
+        return os.path.join(self.directory, name)
+
+    def list_names(self) -> List[str]:
+        """Registered artifact names (sorted)."""
+        names = []
+        for name in sorted(os.listdir(self.directory)):
+            if os.path.isfile(os.path.join(self.directory, name, _ARTIFACT_FILE)):
+                names.append(name)
+        return names
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            path = self._artifact_dir(name)
+        except ValueError:
+            return False
+        return os.path.isfile(os.path.join(path, _ARTIFACT_FILE))
+
+    # ------------------------------------------------------------------
+    # Register / load
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        model: BaseClassifier,
+        *,
+        model_name: str,
+        metadata: Optional[Dict[str, Any]] = None,
+        overwrite: bool = False,
+    ) -> ModelArtifact:
+        """Persist ``model`` under ``name`` and return its artifact record.
+
+        ``model_name`` is the :mod:`repro.models.registry` key needed to
+        rebuild the architecture; constructor kwargs beyond the problem shape
+        must be supplied via ``metadata["model_kwargs"]``.
+        """
+        directory = self._artifact_dir(name)
+        if os.path.exists(os.path.join(directory, _ARTIFACT_FILE)) and not overwrite:
+            raise FileExistsError(
+                f"artifact {name!r} already exists (pass overwrite=True to replace)"
+            )
+        metadata = dict(metadata or {})
+        model_kwargs = dict(metadata.pop("model_kwargs", {}))
+        artifact = ModelArtifact(
+            name=name,
+            model_name=model_name,
+            n_dimensions=model.n_dimensions,
+            length=model.length,
+            n_classes=model.n_classes,
+            model_kwargs=model_kwargs,
+            explainer_family=getattr(model, "explainer_family", None),
+            state_hash=state_hash(model),
+            metadata=metadata,
+        )
+        os.makedirs(directory, exist_ok=True)
+        save_state_dict(model, os.path.join(directory, _WEIGHTS_FILE))
+        with open(os.path.join(directory, _ARTIFACT_FILE), "w", encoding="utf-8") as handle:
+            json.dump(artifact.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        with self._lock:
+            self._loaded.pop(name, None)
+            self._artifacts[name] = artifact
+        return artifact
+
+    def artifact(self, name: str) -> ModelArtifact:
+        """The metadata record for ``name`` (cached after first read)."""
+        with self._lock:
+            cached = self._artifacts.get(name)
+        if cached is not None:
+            return cached
+        path = os.path.join(self._artifact_dir(name), _ARTIFACT_FILE)
+        if not os.path.isfile(path):
+            raise KeyError(
+                f"unknown model artifact {name!r}; registered: {self.list_names()}"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            artifact = ModelArtifact.from_json(json.load(handle))
+        with self._lock:
+            self._artifacts[name] = artifact
+        return artifact
+
+    def load(self, name: str) -> BaseClassifier:
+        """The live model for ``name`` — loaded lazily, then warm-cached.
+
+        The loaded state's :func:`~repro.nn.serialization.state_hash` must
+        match the hash recorded at registration; a mismatch means the weights
+        file was corrupted or replaced and raises :class:`ValueError`.
+        """
+        with self._lock:
+            model = self._loaded.get(name)
+        if model is not None:
+            return model
+        artifact = self.artifact(name)
+        model = create_model(
+            artifact.model_name, artifact.n_dimensions, artifact.length,
+            artifact.n_classes, **artifact.model_kwargs,
+        )
+        load_state_dict(model, os.path.join(self._artifact_dir(name), _WEIGHTS_FILE))
+        loaded_hash = state_hash(model)
+        if artifact.state_hash and loaded_hash != artifact.state_hash:
+            raise ValueError(
+                f"artifact {name!r} failed its integrity check: state hash "
+                f"{loaded_hash[:12]}… does not match the registered "
+                f"{artifact.state_hash[:12]}…"
+            )
+        with self._lock:
+            # Two threads may race the first load; both built identical
+            # models from identical bytes, so either instance may win.
+            model = self._loaded.setdefault(name, model)
+        return model
+
+    def evict(self, name: str) -> None:
+        """Drop the warm-cached instance (the artifact files stay)."""
+        with self._lock:
+            self._loaded.pop(name, None)

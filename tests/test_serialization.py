@@ -1,0 +1,113 @@
+"""Round-trip parity of repro.nn.serialization and the state hash.
+
+Pins the serving layer's foundational guarantee: save → load of a trained
+model reproduces ``logits`` and dCAM outputs *bit for bit*, including the
+BatchNorm running statistics and the train/eval mode flag, and the content
+:func:`~repro.nn.serialization.state_hash` is stable across the round trip
+and sensitive to any state change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dcam import compute_dcam
+from repro.core.input_transform import random_permutations
+from repro.models import CCNNClassifier, DCNNClassifier, MTEXCNNClassifier
+from repro.nn import load_state_dict, save_state_dict, state_hash
+
+MODEL_BUILDERS = {
+    "ccnn": lambda D, n, C, rng: CCNNClassifier(D, n, C, filters=(8, 16), rng=rng),
+    "dcnn": lambda D, n, C, rng: DCNNClassifier(D, n, C, filters=(8, 16), rng=rng),
+    "mtex": lambda D, n, C, rng: MTEXCNNClassifier(
+        D, n, C, block1_filters=(4, 8), block2_filters=8, hidden_units=16, rng=rng),
+}
+
+TRAINED_FIXTURES = {"ccnn": "trained_ccnn", "dcnn": "trained_dcnn",
+                    "mtex": "trained_mtex"}
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_BUILDERS))
+def test_round_trip_reproduces_logits_exactly(model_name, request,
+                                              tiny_type1_dataset, tmp_path):
+    model = request.getfixturevalue(TRAINED_FIXTURES[model_name])
+    path = str(tmp_path / f"{model_name}.npz")
+    save_state_dict(model, path)
+    dataset = tiny_type1_dataset
+    reloaded = MODEL_BUILDERS[model_name](dataset.n_dimensions, dataset.length,
+                                          dataset.n_classes,
+                                          np.random.default_rng(99))
+    load_state_dict(reloaded, path)
+
+    state, reloaded_state = model.state_dict(), reloaded.state_dict()
+    assert list(state) == list(reloaded_state)
+    for key in state:
+        assert np.array_equal(state[key], reloaded_state[key]), key
+        assert state[key].dtype == reloaded_state[key].dtype, key
+    # fit() leaves the model in eval mode; the archive restores that too, so
+    # BatchNorm keeps selecting running statistics after a reload.
+    assert reloaded.training == model.training
+    X = dataset.X[:6]
+    assert np.array_equal(model.logits(X), reloaded.logits(X))
+
+
+def test_round_trip_restores_batchnorm_buffers(trained_ccnn, tmp_path):
+    buffer_names = [name for name, _ in trained_ccnn.named_buffers()]
+    assert any("running_mean" in name for name in buffer_names)
+    path = str(tmp_path / "model.npz")
+    save_state_dict(trained_ccnn, path)
+    reloaded = CCNNClassifier(trained_ccnn.n_dimensions, trained_ccnn.length,
+                              trained_ccnn.n_classes, filters=(8, 16),
+                              rng=np.random.default_rng(3))
+    load_state_dict(reloaded, path)
+    original = dict(trained_ccnn.named_buffers())
+    for name, buffer in reloaded.named_buffers():
+        assert np.array_equal(buffer, original[name]), name
+
+
+def test_round_trip_reproduces_dcam_exactly(trained_dcnn, tiny_type1_dataset,
+                                            tmp_path):
+    path = str(tmp_path / "dcnn.npz")
+    save_state_dict(trained_dcnn, path)
+    reloaded = DCNNClassifier(trained_dcnn.n_dimensions, trained_dcnn.length,
+                              trained_dcnn.n_classes, filters=(8, 16),
+                              rng=np.random.default_rng(5))
+    load_state_dict(reloaded, path)
+    series = tiny_type1_dataset.X[0]
+    permutations = random_permutations(series.shape[0], 6, np.random.default_rng(0))
+    original = compute_dcam(trained_dcnn, series, 1, permutations=permutations)
+    round_tripped = compute_dcam(reloaded, series, 1, permutations=permutations)
+    assert np.array_equal(original.dcam, round_tripped.dcam)
+    assert np.array_equal(original.m_bar, round_tripped.m_bar)
+    assert original.n_correct == round_tripped.n_correct
+
+
+def test_training_mode_round_trips(tmp_path):
+    model = CCNNClassifier(3, 16, 2, filters=(4, 4), rng=np.random.default_rng(0))
+    model.train()
+    path = str(tmp_path / "train-mode.npz")
+    save_state_dict(model, path)
+    other = CCNNClassifier(3, 16, 2, filters=(4, 4), rng=np.random.default_rng(1))
+    other.eval()
+    load_state_dict(other, path)
+    assert other.training is True
+    model.eval()
+    save_state_dict(model, path)
+    load_state_dict(other, path)
+    assert other.training is False
+
+
+def test_state_hash_round_trip_stable_and_sensitive(trained_ccnn, tmp_path):
+    original_hash = state_hash(trained_ccnn)
+    assert original_hash == state_hash(trained_ccnn.state_dict())
+    path = str(tmp_path / "hash.npz")
+    save_state_dict(trained_ccnn, path)
+    reloaded = CCNNClassifier(trained_ccnn.n_dimensions, trained_ccnn.length,
+                              trained_ccnn.n_classes, filters=(8, 16),
+                              rng=np.random.default_rng(1))
+    load_state_dict(reloaded, path)
+    assert state_hash(reloaded) == original_hash
+    # Any parameter perturbation must change the hash.
+    reloaded.classifier.weight.data[0, 0] += 1e-12
+    assert state_hash(reloaded) != original_hash
