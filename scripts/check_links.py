@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Verify that relative markdown links in README and docs/ resolve.
+
+Scans ``README.md``, ``ROADMAP.md`` and every ``docs/*.md`` for inline
+markdown links (``[text](target)``), skips external URLs and pure anchors,
+and checks that each relative target exists on disk (fragments stripped).
+Exits non-zero listing every dead link — wired into CI so the docs tree
+cannot silently rot as files move.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _candidates() -> List[Path]:
+    files = [REPO / "README.md", REPO / "ROADMAP.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _dead_links(path: Path) -> List[Tuple[int, str]]:
+    dead = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                dead.append((lineno, target))
+    return dead
+
+
+def main() -> int:
+    failures = 0
+    checked = 0
+    for path in _candidates():
+        checked += 1
+        for lineno, target in _dead_links(path):
+            print(f"error: {path.relative_to(REPO)}:{lineno}: dead link {target!r}")
+            failures += 1
+    if failures:
+        return 1
+    print(f"checked {checked} markdown files; all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,15 +38,31 @@ class TrainingConfig:
     rate, fewer epochs) while remaining overridable to the paper's values.
     """
 
+    #: Upper bound on training epochs; early stopping usually ends the run
+    #: sooner (the paper trains up to 1000 with ``patience=50``).
     epochs: int = 50
+    #: Mini-batch size of the gradient loop (16 in the paper).
     batch_size: int = 16
+    #: Adam step size.  The paper's ``1e-5`` assumes GPU-scale epoch counts;
+    #: the scaled default converges in tens of epochs on the NumPy substrate.
     learning_rate: float = 1e-3
+    #: L2 penalty coefficient applied through AdamW-style decoupled decay;
+    #: 0 disables it.
     weight_decay: float = 0.0
+    #: Early-stopping patience: epochs without validation improvement
+    #: tolerated before training halts and the best weights are restored.
     patience: int = 10
+    #: Smallest validation-loss drop that counts as an improvement for
+    #: early stopping.
     min_delta: float = 1e-4
+    #: Global gradient-norm clip threshold; ``None`` disables clipping.
     gradient_clip: Optional[float] = 5.0
+    #: Reshuffle the training set every epoch (seeded by ``random_state``).
     shuffle: bool = True
+    #: Print per-epoch loss/accuracy lines to stdout during ``fit``.
     verbose: bool = False
+    #: Seed for weight init, shuffling and dropout; ``None`` draws from the
+    #: global NumPy state (non-reproducible runs).
     random_state: Optional[int] = None
     #: Which fit implementation runs: "fused" (the prepare-once
     #: :class:`repro.training.TrainingEngine`) or "legacy" (the reference

@@ -67,21 +67,22 @@ def _series_json(result) -> Dict[str, Any]:
     return {
         "dimensions": result.dimensions,
         "models": result.models,
-        "c_acc": {str(dataset_type): mapping
-                  for dataset_type, mapping in result.c_acc.items()},
-        "dr_acc": {str(dataset_type): mapping
-                   for dataset_type, mapping in result.dr_acc.items()},
+        "c_acc": {str(dataset_type): mapping for dataset_type, mapping in result.c_acc.items()},
+        "dr_acc": {str(dataset_type): mapping for dataset_type, mapping in result.dr_acc.items()},
     }
 
 
 def _figure10_json(result) -> Dict[str, Any]:
     return {
         "k_values": result.k_values,
-        "curves": {f"{model}-type{dataset_type}-D{dims}": values
-                   for (model, dataset_type, dims), values in result.curves.items()},
-        "k_to_90pct": {f"{model}-type{dataset_type}-D{dims}": int(needed)
-                       for (model, dataset_type, dims), needed
-                       in result.permutations_to_reach().items()},
+        "curves": {
+            f"{model}-type{dataset_type}-D{dims}": values
+            for (model, dataset_type, dims), values in result.curves.items()
+        },
+        "k_to_90pct": {
+            f"{model}-type{dataset_type}-D{dims}": int(needed)
+            for (model, dataset_type, dims), needed in result.permutations_to_reach().items()
+        },
     }
 
 
@@ -104,8 +105,7 @@ def _figure13_json(result) -> Dict[str, Any]:
         "train_accuracy": result.train_accuracy,
         "test_accuracy": result.test_accuracy,
         "top_sensors": [result.sensor_names[s] for s in result.top_sensors],
-        "top_gestures": [[gesture, float(score)]
-                         for gesture, score in result.top_gestures],
+        "top_gestures": [[gesture, float(score)] for gesture, score in result.top_gestures],
         "sensor_recovery_rate": result.sensor_recovery_rate(),
         "gesture_recovery_rate": result.gesture_recovery_rate(),
     }
@@ -128,81 +128,134 @@ def _experiment_table() -> Dict[str, ExperimentEntry]:
 
     return {
         "table2": ExperimentEntry(
-            "table2", "C-acc over (simulated) UCR/UEA datasets",
+            "table2",
+            "C-acc over (simulated) UCR/UEA datasets",
             lambda scale, args, ex, cache: run_table2(
-                scale, dataset_names=_csv(args.datasets), models=_csv(args.models),
-                base_seed=args.base_seed, executor=ex, cache=cache),
+                scale,
+                dataset_names=_csv(args.datasets),
+                models=_csv(args.models),
+                base_seed=args.base_seed,
+                executor=ex,
+                cache=cache,
+            ),
             lambda result: result.as_rows(),
             lambda result: result.format(),
-            options=frozenset({"models", "datasets"})),
+            options=frozenset({"models", "datasets"}),
+        ),
         "table3": ExperimentEntry(
-            "table3", "C-acc and Dr-acc on the synthetic Type 1 / Type 2 benchmarks",
+            "table3",
+            "C-acc and Dr-acc on the synthetic Type 1 / Type 2 benchmarks",
             lambda scale, args, ex, cache: run_table3(
-                scale, seeds=_csv(args.seeds), dimensions=_csv_ints(args.dimensions),
-                models=_csv(args.models), base_seed=args.base_seed,
-                executor=ex, cache=cache),
+                scale,
+                seeds=_csv(args.seeds),
+                dimensions=_csv_ints(args.dimensions),
+                models=_csv(args.models),
+                base_seed=args.base_seed,
+                executor=ex,
+                cache=cache,
+            ),
             lambda result: result.as_rows(),
             lambda result: result.format(),
-            options=frozenset({"models", "dimensions", "seeds"})),
+            options=frozenset({"models", "dimensions", "seeds"}),
+        ),
         "figure8": ExperimentEntry(
-            "figure8", "d-architectures vs counterparts scatter (Table 2 protocol)",
+            "figure8",
+            "d-architectures vs counterparts scatter (Table 2 protocol)",
             lambda scale, args, ex, cache: run_figure8(
-                scale, dataset_names=_csv(args.datasets),
-                base_seed=args.base_seed, executor=ex, cache=cache),
+                scale, dataset_names=_csv(args.datasets), base_seed=args.base_seed, executor=ex, cache=cache
+            ),
             lambda result: result.as_rows(),
             lambda result: result.format(),
-            options=frozenset({"datasets"})),
+            options=frozenset({"datasets"}),
+        ),
         "figure9": ExperimentEntry(
-            "figure9", "C-acc / Dr-acc vs number of dimensions (Table 3 protocol)",
+            "figure9",
+            "C-acc / Dr-acc vs number of dimensions (Table 3 protocol)",
             lambda scale, args, ex, cache: run_figure9(
-                scale, dimensions=_csv_ints(args.dimensions), models=_csv(args.models),
-                base_seed=args.base_seed, executor=ex, cache=cache),
+                scale,
+                dimensions=_csv_ints(args.dimensions),
+                models=_csv(args.models),
+                base_seed=args.base_seed,
+                executor=ex,
+                cache=cache,
+            ),
             _series_json,
             lambda result: result.format(),
-            options=frozenset({"models", "dimensions"})),
+            options=frozenset({"models", "dimensions"}),
+        ),
         "figure10": ExperimentEntry(
-            "figure10", "Dr-acc vs number of permutations k",
+            "figure10",
+            "Dr-acc vs number of permutations k",
             lambda scale, args, ex, cache: run_figure10(
-                scale, dimensions=_csv_ints(args.dimensions), models=_csv(args.models),
-                base_seed=args.base_seed, executor=ex, cache=cache),
+                scale,
+                dimensions=_csv_ints(args.dimensions),
+                models=_csv(args.models),
+                base_seed=args.base_seed,
+                executor=ex,
+                cache=cache,
+            ),
             _figure10_json,
             lambda result: result.format(),
-            options=frozenset({"models", "dimensions"})),
+            options=frozenset({"models", "dimensions"}),
+        ),
         "figure11": ExperimentEntry(
-            "figure11", "C-acc / Dr-acc / ng-over-k relations per configuration",
+            "figure11",
+            "C-acc / Dr-acc / ng-over-k relations per configuration",
             lambda scale, args, ex, cache: run_figure11(
-                scale, models=_csv(args.models), seeds=_csv(args.seeds),
+                scale,
+                models=_csv(args.models),
+                seeds=_csv(args.seeds),
                 dimensions=_csv_ints(args.dimensions),
-                base_seed=args.base_seed, executor=ex, cache=cache),
+                base_seed=args.base_seed,
+                executor=ex,
+                cache=cache,
+            ),
             lambda result: result.as_rows(),
             lambda result: result.format(),
-            options=frozenset({"models", "seeds", "dimensions"})),
+            options=frozenset({"models", "seeds", "dimensions"}),
+        ),
         "figure12": ExperimentEntry(
-            "figure12", "training / dCAM execution-time panels",
+            "figure12",
+            "training / dCAM execution-time panels",
             lambda scale, args, ex, cache: run_figure12(
-                scale, models=_csv(args.models), dimensions=_csv_ints(args.dimensions),
-                base_seed=args.base_seed, executor=ex, cache=cache),
+                scale,
+                models=_csv(args.models),
+                dimensions=_csv_ints(args.dimensions),
+                base_seed=args.base_seed,
+                executor=ex,
+                cache=cache,
+            ),
             _figure12_json,
             lambda result: result.format(),
-            options=frozenset({"models", "dimensions"})),
+            options=frozenset({"models", "dimensions"}),
+        ),
         "figure13": ExperimentEntry(
-            "figure13", "surgeon-skill use case (simulated JIGSAWS)",
+            "figure13",
+            "surgeon-skill use case (simulated JIGSAWS)",
             lambda scale, args, ex, cache: run_figure13(
-                scale, base_seed=args.base_seed, executor=ex, cache=cache),
+                scale, base_seed=args.base_seed, executor=ex, cache=cache
+            ),
             _figure13_json,
-            lambda result: result.format()),
+            lambda result: result.format(),
+        ),
         "ablation-extraction": ExperimentEntry(
-            "ablation-extraction", "dCAM extraction-rule ablation",
+            "ablation-extraction",
+            "dCAM extraction-rule ablation",
             lambda scale, args, ex, cache: run_extraction_ablation(
-                scale, base_seed=args.base_seed, executor=ex, cache=cache),
+                scale, base_seed=args.base_seed, executor=ex, cache=cache
+            ),
             lambda result: result.rows,
-            lambda result: result.format("Ablation — dCAM extraction rules")),
+            lambda result: result.format("Ablation — dCAM extraction rules"),
+        ),
         "ablation-ng-filter": ExperimentEntry(
-            "ablation-ng-filter", "dCAM permutation-filter ablation",
+            "ablation-ng-filter",
+            "dCAM permutation-filter ablation",
             lambda scale, args, ex, cache: run_ng_filter_ablation(
-                scale, base_seed=args.base_seed, executor=ex, cache=cache),
+                scale, base_seed=args.base_seed, executor=ex, cache=cache
+            ),
             lambda result: result.rows,
-            lambda result: result.format("Ablation — ng/k permutation filter")),
+            lambda result: result.format("Ablation — ng/k permutation filter"),
+        ),
     }
 
 
@@ -226,43 +279,62 @@ def _build_scale(args: argparse.Namespace):
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("experiment", metavar="EXPERIMENT",
-                        help="experiment name (see `python -m repro list`)")
-    parser.add_argument("--scale", default="small", choices=["tiny", "small", "paper"],
-                        help="experiment scale preset (default: small)")
-    parser.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="worker processes; >1 enables the parallel executor")
-    parser.add_argument("--json", dest="json_path", metavar="PATH",
-                        help="write the result (plus run metadata) as JSON")
-    parser.add_argument("--cache-dir", metavar="DIR",
-                        help="enable the content-addressed result cache, persisted here")
-    parser.add_argument("--base-seed", type=int, default=0,
-                        help="base seed the per-unit seeds derive from (default: 0)")
-    parser.add_argument("--random-state", type=int, default=0,
-                        help="random state baked into the scale preset (default: 0)")
-    parser.add_argument("--models", metavar="A,B,...",
-                        help="comma-separated model subset (driver-dependent)")
-    parser.add_argument("--dimensions", metavar="D1,D2,...",
-                        help="comma-separated dimension sweep (driver-dependent)")
-    parser.add_argument("--seeds", metavar="NAME,...",
-                        help="comma-separated synthetic seed datasets (driver-dependent)")
-    parser.add_argument("--datasets", metavar="NAME,...",
-                        help="comma-separated UEA dataset names (table2 / figure8)")
-    parser.add_argument("--n-runs", type=int, metavar="N",
-                        help="override the scale's train/evaluate repetitions")
-    parser.add_argument("--k", type=int, metavar="K",
-                        help="override the scale's dCAM permutation count")
-    parser.add_argument("--epochs", type=int, metavar="N",
-                        help="override the scale's training epochs")
-    parser.add_argument("--engine", choices=["fused", "legacy"],
-                        help="training engine: the fused prepare-once pipeline "
-                             "(default) or the reference legacy loop "
-                             "(float-identical, for cross-checking)")
-    parser.add_argument("--progress", action="store_true",
-                        help="print one line per finished work unit plus the "
-                             "run's telemetry counters")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress the formatted table/figure output")
+    parser.add_argument(
+        "experiment", metavar="EXPERIMENT", help="experiment name (see `python -m repro list`)"
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["tiny", "small", "paper"],
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; >1 enables the parallel executor",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH", help="write the result (plus run metadata) as JSON"
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", help="enable the content-addressed result cache, persisted here"
+    )
+    parser.add_argument(
+        "--base-seed", type=int, default=0, help="base seed the per-unit seeds derive from (default: 0)"
+    )
+    parser.add_argument(
+        "--random-state", type=int, default=0, help="random state baked into the scale preset (default: 0)"
+    )
+    parser.add_argument("--models", metavar="A,B,...", help="comma-separated model subset (driver-dependent)")
+    parser.add_argument(
+        "--dimensions", metavar="D1,D2,...", help="comma-separated dimension sweep (driver-dependent)"
+    )
+    parser.add_argument(
+        "--seeds", metavar="NAME,...", help="comma-separated synthetic seed datasets (driver-dependent)"
+    )
+    parser.add_argument(
+        "--datasets", metavar="NAME,...", help="comma-separated UEA dataset names (table2 / figure8)"
+    )
+    parser.add_argument(
+        "--n-runs", type=int, metavar="N", help="override the scale's train/evaluate repetitions"
+    )
+    parser.add_argument("--k", type=int, metavar="K", help="override the scale's dCAM permutation count")
+    parser.add_argument("--epochs", type=int, metavar="N", help="override the scale's training epochs")
+    parser.add_argument(
+        "--engine",
+        choices=["fused", "legacy"],
+        help="training engine: the fused prepare-once pipeline "
+        "(default) or the reference legacy loop "
+        "(float-identical, for cross-checking)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished work unit plus the run's telemetry counters",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress the formatted table/figure output")
 
 
 def _command_list() -> int:
@@ -277,27 +349,37 @@ def _command_list() -> int:
 def _command_run(args: argparse.Namespace) -> int:
     entries = _experiment_table()
     if args.experiment not in entries:
-        print(f"error: unknown experiment {args.experiment!r}; "
-              f"choose from: {', '.join(entries)}", file=sys.stderr)
+        print(
+            f"error: unknown experiment {args.experiment!r}; choose from: {', '.join(entries)}",
+            file=sys.stderr,
+        )
         return 2
     entry = entries[args.experiment]
     # Reject filter flags this experiment does not consume — silently
     # ignoring them would run (and label) the default configuration.
-    unsupported = [f"--{name}" for name in ("models", "dimensions", "seeds", "datasets")
-                   if getattr(args, name) is not None and name not in entry.options]
+    unsupported = [
+        f"--{name}"
+        for name in ("models", "dimensions", "seeds", "datasets")
+        if getattr(args, name) is not None and name not in entry.options
+    ]
     if unsupported:
         supported = ", ".join(f"--{name}" for name in sorted(entry.options)) or "none"
-        print(f"error: {entry.name} does not support {', '.join(unsupported)} "
-              f"(supported filter flags: {supported})", file=sys.stderr)
+        print(
+            f"error: {entry.name} does not support {', '.join(unsupported)} "
+            f"(supported filter flags: {supported})",
+            file=sys.stderr,
+        )
         return 2
     scale = _build_scale(args)
     executor = make_executor(args.workers)
     cache = ResultCache(directory=args.cache_dir) if args.cache_dir else None
 
-    print(f"[repro] running {entry.name} at scale={scale.name} "
-          f"executor={executor_label(executor)}"
-          + (f" cache={args.cache_dir}" if args.cache_dir else ""),
-          file=sys.stderr)
+    print(
+        f"[repro] running {entry.name} at scale={scale.name} "
+        f"executor={executor_label(executor)}"
+        + (f" cache={args.cache_dir}" if args.cache_dir else ""),
+        file=sys.stderr,
+    )
     start = time.perf_counter()
     if args.progress:
         from ..telemetry import Telemetry
@@ -306,23 +388,19 @@ def _command_run(args: argparse.Namespace) -> int:
         telemetry = Telemetry()
 
         def on_unit(index, total, unit, source):
-            print(f"[repro] unit {index + 1}/{total} {unit.describe()} [{source}]",
-                  file=sys.stderr)
+            print(f"[repro] unit {index + 1}/{total} {unit.describe()} [{source}]", file=sys.stderr)
 
         with progress_hooks(telemetry, on_unit):
             result = entry.run(scale, args, executor, cache)
-        counters = ", ".join(f"{name}={value}" for name, value in
-                             sorted(telemetry.snapshot().items()))
+        counters = ", ".join(f"{name}={value}" for name, value in sorted(telemetry.snapshot().items()))
         print(f"[repro] telemetry: {counters}", file=sys.stderr)
     else:
         result = entry.run(scale, args, executor, cache)
     elapsed = time.perf_counter() - start
     cache_line = ""
     if cache is not None:
-        cache_line = (f" cache hits={cache.stats.hits}"
-                      f" misses={cache.stats.misses}")
-    print(f"[repro] {entry.name} finished in {elapsed:.2f}s{cache_line}",
-          file=sys.stderr)
+        cache_line = f" cache hits={cache.stats.hits}" f" misses={cache.stats.misses}"
+    print(f"[repro] {entry.name} finished in {elapsed:.2f}s{cache_line}", file=sys.stderr)
 
     if not args.quiet:
         print(entry.format(result))
@@ -337,8 +415,7 @@ def _command_run(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "base_seed": args.base_seed,
             "elapsed_seconds": elapsed,
-            "cache": (None if cache is None else
-                      {"hits": cache.stats.hits, "misses": cache.stats.misses}),
+            "cache": None if cache is None else {"hits": cache.stats.hits, "misses": cache.stats.misses},
             "result": entry.to_json(result),
         }
         with open(args.json_path, "w", encoding="utf-8") as handle:
@@ -349,31 +426,44 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--store", required=True, metavar="DIR",
-                        help="model artifact store directory (created if missing)")
-    parser.add_argument("--model", required=True, metavar="NAME",
-                        help="architecture to train/export (see repro.models)")
-    parser.add_argument("--name", metavar="ARTIFACT",
-                        help="artifact name (default: <model>-<scale>)")
-    parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"],
-                        help="experiment scale preset (default: tiny)")
-    parser.add_argument("--seed-name", default="starlight",
-                        help="synthetic seed dataset to train on (default: starlight)")
-    parser.add_argument("--dataset-type", type=int, default=1, choices=[1, 2],
-                        help="synthetic benchmark type (default: 1)")
-    parser.add_argument("--dimensions", type=int, metavar="D",
-                        help="number of dimensions (default: the scale's synthetic D)")
-    parser.add_argument("--base-seed", type=int, default=0,
-                        help="config seed the training run derives from (default: 0)")
-    parser.add_argument("--random-state", type=int, default=0,
-                        help="random state baked into the scale preset (default: 0)")
-    parser.add_argument("--epochs", type=int, metavar="N",
-                        help="override the scale's training epochs")
-    parser.add_argument("--cache-dir", metavar="DIR",
-                        help="runtime result cache: re-exports (and sweeps that "
-                             "already trained this configuration) skip training")
-    parser.add_argument("--overwrite", action="store_true",
-                        help="replace an existing artifact of the same name")
+    parser.add_argument(
+        "--store", required=True, metavar="DIR", help="model artifact store directory (created if missing)"
+    )
+    parser.add_argument(
+        "--model", required=True, metavar="NAME", help="architecture to train/export (see repro.models)"
+    )
+    parser.add_argument("--name", metavar="ARTIFACT", help="artifact name (default: <model>-<scale>)")
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=["tiny", "small", "paper"],
+        help="experiment scale preset (default: tiny)",
+    )
+    parser.add_argument(
+        "--seed-name", default="starlight", help="synthetic seed dataset to train on (default: starlight)"
+    )
+    parser.add_argument(
+        "--dataset-type", type=int, default=1, choices=[1, 2], help="synthetic benchmark type (default: 1)"
+    )
+    parser.add_argument(
+        "--dimensions", type=int, metavar="D", help="number of dimensions (default: the scale's synthetic D)"
+    )
+    parser.add_argument(
+        "--base-seed", type=int, default=0, help="config seed the training run derives from (default: 0)"
+    )
+    parser.add_argument(
+        "--random-state", type=int, default=0, help="random state baked into the scale preset (default: 0)"
+    )
+    parser.add_argument("--epochs", type=int, metavar="N", help="override the scale's training epochs")
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="runtime result cache: re-exports (and sweeps that "
+        "already trained this configuration) skip training",
+    )
+    parser.add_argument(
+        "--overwrite", action="store_true", help="replace an existing artifact of the same name"
+    )
 
 
 def _command_export_model(args: argparse.Namespace) -> int:
@@ -385,31 +475,44 @@ def _command_export_model(args: argparse.Namespace) -> int:
     from .spec import ExperimentSpec, WorkUnit
 
     if args.model not in available_models():
-        print(f"error: unknown model {args.model!r}; "
-              f"choose from: {', '.join(available_models())}", file=sys.stderr)
+        print(
+            f"error: unknown model {args.model!r}; choose from: {', '.join(available_models())}",
+            file=sys.stderr,
+        )
         return 2
     scale = get_scale(args.scale, random_state=args.random_state)
     if args.epochs is not None:
         scale = scale.with_overrides(training=replace(scale.training, epochs=args.epochs))
     n_dimensions = args.dimensions or scale.synthetic.n_dimensions
     unit = WorkUnit.create(
-        "trained_model_state", seed_name=args.seed_name,
-        dataset_type=args.dataset_type, n_dimensions=n_dimensions,
-        model_name=args.model, config_seed=args.base_seed)
+        "trained_model_state",
+        seed_name=args.seed_name,
+        dataset_type=args.dataset_type,
+        n_dimensions=n_dimensions,
+        model_name=args.model,
+        config_seed=args.base_seed,
+    )
     spec = ExperimentSpec(name="export-model", scale=scale, units=(unit,))
     cache = ResultCache(directory=args.cache_dir) if args.cache_dir else None
 
-    print(f"[repro] training {args.model} at scale={scale.name} "
-          f"(D={n_dimensions}, type={args.dataset_type}, seed={args.base_seed})"
-          + (f" cache={args.cache_dir}" if args.cache_dir else ""), file=sys.stderr)
+    print(
+        f"[repro] training {args.model} at scale={scale.name} "
+        f"(D={n_dimensions}, type={args.dataset_type}, seed={args.base_seed})"
+        + (f" cache={args.cache_dir}" if args.cache_dir else ""),
+        file=sys.stderr,
+    )
     start = time.perf_counter()
     payload = run_spec(spec, cache=cache)[0]
     trained = "cache" if cache is not None and cache.stats.hits else "trained"
-    print(f"[repro] model state ready in {time.perf_counter() - start:.2f}s "
-          f"[{trained}]", file=sys.stderr)
+    print(f"[repro] model state ready in {time.perf_counter() - start:.2f}s [{trained}]", file=sys.stderr)
 
-    model = create_model(args.model, payload["n_dimensions"], payload["length"],
-                         payload["n_classes"], **scale.model_kwargs(args.model))
+    model = create_model(
+        args.model,
+        payload["n_dimensions"],
+        payload["length"],
+        payload["n_classes"],
+        **scale.model_kwargs(args.model),
+    )
     model.load_state_dict(payload["state"])
     if payload.get("training_mode"):
         model.train()
@@ -419,7 +522,9 @@ def _command_export_model(args: argparse.Namespace) -> int:
     store = ModelArtifactStore(args.store)
     artifact_name = args.name or f"{args.model}-{scale.name}"
     artifact = store.register(
-        artifact_name, model, model_name=args.model,
+        artifact_name,
+        model,
+        model_name=args.model,
         metadata={
             "model_kwargs": scale.model_kwargs(args.model),
             "scale": scale.name,
@@ -431,33 +536,97 @@ def _command_export_model(args: argparse.Namespace) -> int:
             "default_k": scale.k_permutations,
             "batch_parity": parity.to_json(),
         },
-        overwrite=args.overwrite)
-    print(f"[repro] registered {artifact_name!r} in {args.store} "
-          f"(state {artifact.state_hash[:12]}…, family {artifact.explainer_family}, "
-          f"batch parity {parity.to_json()})", file=sys.stderr)
+        overwrite=args.overwrite,
+    )
+    print(
+        f"[repro] registered {artifact_name!r} in {args.store} "
+        f"(state {artifact.state_hash[:12]}…, family {artifact.explainer_family}, "
+        f"batch parity {parity.to_json()})",
+        file=sys.stderr,
+    )
     return 0
 
 
 def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--store", required=True, metavar="DIR",
-                        help="model artifact store directory (see export-model)")
-    parser.add_argument("--host", default="127.0.0.1",
-                        help="bind address (default: 127.0.0.1)")
-    parser.add_argument("--port", type=int, default=8080,
-                        help="bind port; 0 picks an ephemeral port (default: 8080)")
-    parser.add_argument("--max-batch-size", type=int, default=8, metavar="N",
-                        help="micro-batcher flush threshold; 1 disables "
-                             "coalescing (default: 8)")
-    parser.add_argument("--max-wait-ms", type=float, default=2.0, metavar="MS",
-                        help="max milliseconds a queued request waits for "
-                             "companions (default: 2)")
-    parser.add_argument("--cache-dir", metavar="DIR",
-                        help="persist the explanation cache here (memory-only "
-                             "otherwise)")
-    parser.add_argument("--cache-memory-mb", type=float, default=64.0, metavar="MB",
-                        help="LRU bound of the in-memory cache tier (default: 64)")
-    parser.add_argument("--cache-disk-mb", type=float, metavar="MB",
-                        help="LRU bound of the on-disk cache tier (default: unbounded)")
+    parser.add_argument(
+        "--store", required=True, metavar="DIR", help="model artifact store directory (see export-model)"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port; 0 picks an ephemeral port (default: 8080)"
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="micro-batcher flush threshold; 1 disables "
+        "coalescing; the adaptive policy starts here "
+        "(default: 8)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="max milliseconds a queued request waits for companions (default: 2)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="adaptive",
+        choices=["static", "adaptive"],
+        help="batching policy: fixed flush bounds, or "
+        "feedback-driven bounds adapted to observed "
+        "queue depth / flush latency (default: adaptive)",
+    )
+    parser.add_argument(
+        "--max-adaptive-batch-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="hard upper bound of the adaptive policy's flush size (default: 64)",
+    )
+    parser.add_argument(
+        "--latency-budget-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="adaptive policy's per-flush latency budget: "
+        "sustained flushes above it shrink the batch "
+        "(default: 250)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=512,
+        metavar="N",
+        help="per-(model, kind) in-flight bound; requests "
+        "over it are shed with HTTP 429 + Retry-After; "
+        "0 disables shedding (default: 512)",
+    )
+    parser.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="graceful-shutdown drain bound: queued requests unserved after this fail fast (default: 30)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", help="persist the explanation cache here (memory-only otherwise)"
+    )
+    parser.add_argument(
+        "--cache-memory-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="LRU bound of the in-memory cache tier (default: 64)",
+    )
+    parser.add_argument(
+        "--cache-disk-mb",
+        type=float,
+        metavar="MB",
+        help="LRU bound of the on-disk cache tier (default: unbounded)",
+    )
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -469,24 +638,41 @@ def _command_serve(args: argparse.Namespace) -> int:
     store = ModelArtifactStore(args.store)
     names = store.list_names()
     if not names:
-        print(f"error: no model artifacts in {args.store!r}; register one with "
-              "`python -m repro export-model` first", file=sys.stderr)
+        print(
+            f"error: no model artifacts in {args.store!r}; register one with "
+            "`python -m repro export-model` first",
+            file=sys.stderr,
+        )
         return 2
     cache = ExplanationCache(
         directory=args.cache_dir,
         max_memory_bytes=int(args.cache_memory_mb * 1024 * 1024),
-        max_disk_bytes=(None if args.cache_disk_mb is None
-                        else int(args.cache_disk_mb * 1024 * 1024)))
-    config = ServeConfig(max_batch_size=args.max_batch_size,
-                         max_wait_ms=args.max_wait_ms)
+        max_disk_bytes=None if args.cache_disk_mb is None else int(args.cache_disk_mb * 1024 * 1024),
+    )
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        batch_policy=args.policy,
+        max_adaptive_batch_size=args.max_adaptive_batch_size,
+        policy_latency_budget_ms=args.latency_budget_ms,
+        max_queue_depth=args.max_queue_depth or None,
+        drain_timeout_s=args.drain_timeout_s,
+    )
     service = ExplanationService(store, cache=cache, config=config)
-    print(f"[repro] serving {len(names)} model(s) from {args.store}: "
-          f"{', '.join(names)}", file=sys.stderr)
+    print(
+        f"[repro] serving {len(names)} model(s) from {args.store}: "
+        f"{', '.join(names)} "
+        f"[policy {service.batcher.policy.describe()}, "
+        f"queue bound {config.max_queue_depth or 'unbounded'}]",
+        file=sys.stderr,
+    )
 
     def announce(host, port):
-        print(f"[repro] listening on http://{host}:{port} "
-              f"(/models /classify /explain /healthz /metrics; Ctrl-C stops)",
-              file=sys.stderr)
+        print(
+            f"[repro] listening on http://{host}:{port} "
+            f"(/models /classify /explain /healthz /metrics; Ctrl-C stops)",
+            file=sys.stderr,
+        )
 
     run_server(service, args.host, args.port, announce=announce)
     return 0
@@ -495,25 +681,30 @@ def _command_serve(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="dCAM reproduction experiment suite "
-                    "(declarative job-graph runtime).")
+        description="dCAM reproduction experiment suite (declarative job-graph runtime).",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list the runnable experiments")
     run_parser = subparsers.add_parser(
-        "run", help="run one experiment",
-        description="Run one table/figure driver through the repro.runtime "
-                    "executor.")
+        "run",
+        help="run one experiment",
+        description="Run one table/figure driver through the repro.runtime executor.",
+    )
     _add_run_arguments(run_parser)
     export_parser = subparsers.add_parser(
-        "export-model", help="train (or load) a model and register it for serving",
+        "export-model",
+        help="train (or load) a model and register it for serving",
         description="Train one classifier on the synthetic benchmark — or load "
-                    "its state from the runtime result cache — and register it "
-                    "into a serve model store.")
+        "its state from the runtime result cache — and register it "
+        "into a serve model store.",
+    )
     _add_export_arguments(export_parser)
     serve_parser = subparsers.add_parser(
-        "serve", help="serve classify/explain requests over HTTP",
+        "serve",
+        help="serve classify/explain requests over HTTP",
         description="Serve the models of an artifact store with dynamic "
-                    "micro-batching and a content-addressed explanation cache.")
+        "micro-batching and a content-addressed explanation cache.",
+    )
     _add_serve_arguments(serve_parser)
 
     args = parser.parse_args(argv)

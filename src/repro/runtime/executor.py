@@ -86,9 +86,9 @@ class ParallelExecutor:
             return
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=n_workers,
-                                 initializer=_worker_init,
-                                 initargs=(_package_search_path(),)) as pool:
+        with ProcessPoolExecutor(
+            max_workers=n_workers, initializer=_worker_init, initargs=(_package_search_path(),)
+        ) as pool:
             yield from pool.map(fn, payloads, chunksize=self.chunksize)
 
     def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:

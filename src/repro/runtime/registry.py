@@ -51,9 +51,7 @@ def resolve_work(kind: str) -> WorkFunction:
             importlib.import_module(module_name)
         fn = WORK_FUNCTIONS.get(kind)
     if fn is None:
-        raise KeyError(
-            f"unknown work kind {kind!r}; registered: {sorted(WORK_FUNCTIONS)}"
-        )
+        raise KeyError(f"unknown work kind {kind!r}; registered: {sorted(WORK_FUNCTIONS)}")
     return fn
 
 

@@ -85,8 +85,7 @@ class WorkUnit:
 
     @classmethod
     def create(cls, kind: str, **params: Any) -> "WorkUnit":
-        canonical = tuple(sorted((name, canonicalize(value))
-                                 for name, value in params.items()))
+        canonical = tuple(sorted((name, canonicalize(value)) for name, value in params.items()))
         return cls(kind=kind, params=canonical)
 
     @property
@@ -114,8 +113,7 @@ class ExperimentSpec:
     def fingerprints(self) -> Tuple[str, ...]:
         """Content-addressed cache key of every unit under this spec's scale."""
         scale_key = scale_fingerprint_payload(self.scale)
-        return tuple(unit_fingerprint(self.scale, unit, _scale_payload=scale_key)
-                     for unit in self.units)
+        return tuple(unit_fingerprint(self.scale, unit, _scale_payload=scale_key) for unit in self.units)
 
 
 #: Folded into every unit fingerprint.  Bump whenever a work function's
@@ -131,8 +129,7 @@ def scale_fingerprint_payload(scale: Any) -> str:
     if dataclasses.is_dataclass(scale) and not isinstance(scale, type):
         payload = dataclasses.asdict(scale)
     else:  # duck-typed knob bundles: hash their public attributes
-        payload = {name: getattr(scale, name) for name in sorted(vars(scale))
-                   if not name.startswith("_")}
+        payload = {name: getattr(scale, name) for name in sorted(vars(scale)) if not name.startswith("_")}
     return json.dumps(_jsonable(canonicalize(payload)), sort_keys=True)
 
 

@@ -7,8 +7,13 @@ served by an :class:`ExplanationService` that
 
 * lazily loads and warm-caches model artifacts,
 * coalesces concurrent classify/explain requests into single batched engine
-  calls via a dynamic :class:`MicroBatcher` (responses are byte-identical to
-  per-request execution — see :mod:`repro.serve.engine`),
+  calls via a dynamic :class:`MicroBatcher` with one flush worker per
+  (model, kind) group (responses are byte-identical to per-request
+  execution — see :mod:`repro.serve.engine`),
+* adapts its flush size and wait bound to the observed load through a
+  pluggable :class:`BatchPolicy` (:mod:`repro.serve.policy`) and sheds
+  load with bounded per-group queues (:class:`QueueFullError` → HTTP 429
+  + ``Retry-After``) once an admission watermark is hit,
 * answers repeated work from a content-addressed :class:`ExplanationCache`
   (memory + disk tiers, LRU-bounded), and
 * exposes everything over a stdlib JSON/HTTP server (:mod:`repro.serve.http`).
@@ -17,10 +22,16 @@ Command-line entry points: ``python -m repro export-model`` registers a
 trained model into a store; ``python -m repro serve`` serves one.
 """
 
-from .batcher import MicroBatcher
+from .batcher import MicroBatcher, QueueFullError
 from .cache import ExplanationCache, content_key, response_cache_key
 from .engine import ParityReport, probe_batch_parity, serve_logits
 from .http import ServiceHTTPServer, make_server, run_server, serve_in_background
+from .policy import (
+    AdaptiveBatchPolicy,
+    BatchPolicy,
+    FlushDecision,
+    StaticBatchPolicy,
+)
 from .service import (
     ClassifyResponse,
     ExplainResponse,
@@ -36,6 +47,11 @@ __all__ = [
     "content_key",
     "response_cache_key",
     "MicroBatcher",
+    "QueueFullError",
+    "BatchPolicy",
+    "FlushDecision",
+    "StaticBatchPolicy",
+    "AdaptiveBatchPolicy",
     "ExplanationService",
     "ServeConfig",
     "ClassifyResponse",

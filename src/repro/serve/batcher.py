@@ -1,24 +1,37 @@
 """Dynamic micro-batching: coalesce concurrent requests into one engine call.
 
 Requests enter through :meth:`MicroBatcher.submit`, which returns a
-:class:`concurrent.futures.Future` immediately.  A single worker thread
-drains the queue, groups requests by their *group key* (the serving layer
-uses ``(artifact name, request kind)``) and flushes a group to the
-``execute`` callable when either
+:class:`concurrent.futures.Future` immediately.  Each *group key* (the
+serving layer uses ``(artifact name, request kind)``) owns a dedicated
+worker thread with its own queue — one slow dCAM flush can therefore never
+stall classify traffic, or another model's explains: flushes of different
+groups overlap freely.  A group's worker drains its queue and flushes a
+batch to the ``execute`` callable when either
 
-* the group reaches ``max_batch_size`` requests, or
-* its oldest request has waited ``max_wait_ms`` milliseconds.
+* the batch reaches the policy's ``max_batch_size`` requests, or
+* its oldest request has waited the policy's ``max_wait_s``.
 
-The wait bound is what makes the batching *dynamic*: under load, flushes are
-full batches amortising one model forward over many requests; a lone request
-only ever pays the wait bound on top of its own execution.  With
-``max_batch_size=1`` every request flushes immediately — the serial
-per-request dispatch mode the throughput benchmark compares against.
+Both bounds come from a pluggable :class:`~repro.serve.policy.BatchPolicy`
+consulted once per accumulation round and fed back the width, wall clock and
+remaining backlog of every flush — a :class:`StaticBatchPolicy` reproduces
+the fixed-knob behaviour (``max_batch_size=1`` is the serial per-request
+dispatch mode the throughput benchmark compares against), an
+:class:`~repro.serve.policy.AdaptiveBatchPolicy` tunes the bounds from the
+observed load.
 
-The ``execute(group_key, requests)`` callable runs on the worker thread and
-must return one result per request (order-preserving); an exception fails
-every future of the flush.  Results must not depend on how requests were
-grouped — the engine layer (:mod:`repro.serve.engine`) guarantees that.
+Admission control: ``max_queue_depth`` bounds each group's in-flight
+requests (queued + executing).  A submit over the bound fails fast with
+:class:`QueueFullError` carrying a ``retry_after_s`` estimate from the
+group's smoothed service rate — the backpressure signal the HTTP layer
+translates into ``429`` + ``Retry-After`` instead of letting queues (and
+client latency) grow without bound.
+
+The ``execute(group_key, requests)`` callable runs on the group's worker
+thread and must return one result per request (order-preserving); an
+exception fails every future of the flush.  Results must not depend on how
+requests were grouped — the engine layer (:mod:`repro.serve.engine`)
+guarantees that, so neither the per-group workers nor any batching policy
+can change response bytes.
 """
 
 from __future__ import annotations
@@ -31,13 +44,31 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..telemetry import Telemetry
+from .policy import BatchPolicy, StaticBatchPolicy
 
 #: Default flush bounds: large enough to fill under concurrent load, small
 #: enough that an isolated request barely notices.
 DEFAULT_MAX_BATCH_SIZE = 8
 DEFAULT_MAX_WAIT_MS = 2.0
 
+#: Fallback ``retry_after_s`` before a group has measured its service rate.
+DEFAULT_RETRY_AFTER_S = 1.0
+
 _SHUTDOWN = object()
+
+
+class QueueFullError(RuntimeError):
+    """A group's in-flight bound was hit; retry after ``retry_after_s``."""
+
+    def __init__(self, group_key: Hashable, depth: int, limit: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"group {group_key!r} is overloaded: {depth} requests in flight "
+            f"(bound {limit}); retry in ~{retry_after_s:.2f}s"
+        )
+        self.group_key = group_key
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -47,94 +78,86 @@ class _Pending:
     enqueued_at: float = field(default_factory=time.perf_counter)
 
 
-class MicroBatcher:
-    """Queue + worker thread coalescing requests per group key.
+class _GroupWorker:
+    """One queue + worker thread serving a single group key.
 
-    Parameters
-    ----------
-    execute:
-        ``execute(group_key, requests) -> results`` — evaluated on the worker
-        thread with between 1 and ``max_batch_size`` requests per call.
-    max_batch_size:
-        Flush threshold; ``1`` disables coalescing (serial dispatch).
-    max_wait_ms:
-        Upper bound on how long the oldest queued request of a group may wait
-        for companions before its partial batch is flushed.
-    telemetry:
-        Optional shared registry; the batcher counts ``batches_flushed``,
-        ``batched_requests``, ``flushes_full`` and ``flushes_timed_out``.
+    In-flight accounting (``depth``) covers queued *and* currently-executing
+    requests; it is incremented by the owning batcher under its admission
+    check and decremented here as each future resolves, so the bound holds
+    however slow the flushes run.
     """
 
-    def __init__(
-        self,
-        execute: Callable[[Hashable, List[Any]], List[Any]],
-        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
-        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
-        telemetry: Optional[Telemetry] = None,
-    ) -> None:
-        self._execute = execute
-        self.max_batch_size = max(1, int(max_batch_size))
-        self.max_wait = max(0.0, float(max_wait_ms)) / 1000.0
-        self.telemetry = telemetry if telemetry is not None else Telemetry()
-        self._queue: "queue.Queue" = queue.Queue()
-        self._closed = False
-        # Serialises submit's closed-check+enqueue against close's
-        # closed-set+shutdown-marker: every accepted request is enqueued
-        # *before* the marker, so the worker's shutdown drain flushes it and
-        # no future is ever stranded by a submit/close race.
-        self._lifecycle = threading.Lock()
-        self._worker = threading.Thread(target=self._loop, name="repro-serve-batcher", daemon=True)
-        self._worker.start()
+    def __init__(self, batcher: "MicroBatcher", group_key: Hashable) -> None:
+        self.batcher = batcher
+        self.group_key = group_key
+        self.queue: "queue.Queue" = queue.Queue()
+        self.depth = 0
+        self.depth_lock = threading.Lock()
+        #: EWMA of per-request service seconds; drives retry-after estimates.
+        self.request_seconds: Optional[float] = None
+        self.thread = threading.Thread(
+            target=self._loop,
+            name=f"repro-serve-batcher-{group_key!r}",
+            daemon=True,
+        )
+        self.thread.start()
 
     # ------------------------------------------------------------------
-    # Client side
-    # ------------------------------------------------------------------
-    def submit(self, group_key: Hashable, request: Any) -> "Future":
-        """Enqueue ``request`` under ``group_key``; resolve via the future."""
-        pending = _Pending(request=request, future=Future())
-        with self._lifecycle:
-            if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
-            self._queue.put((group_key, pending))
-        return pending.future
+    def admit(self) -> bool:
+        """Reserve one in-flight slot; False when the bound is hit."""
+        limit = self.batcher.max_queue_depth
+        with self.depth_lock:
+            if limit is not None and self.depth >= limit:
+                return False
+            self.depth += 1
+        self._publish_depth()
+        return True
 
-    def close(self, timeout: Optional[float] = None) -> None:
-        """Flush everything still queued and stop the worker thread.
+    def release(self, count: int = 1) -> None:
+        with self.depth_lock:
+            self.depth -= count
+        self._publish_depth()
 
-        Waits for in-flight flushes by default; pass ``timeout`` to bound the
-        wait — anything still queued when it expires fails with
-        :class:`RuntimeError` instead of leaving callers blocked.
-        """
-        with self._lifecycle:
-            if self._closed:
-                return
-            self._closed = True
-            self._queue.put(_SHUTDOWN)
-        self._worker.join(timeout=timeout)
-        while True:  # only reachable when the join timed out
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is not _SHUTDOWN:
-                _, entry = item
-                entry.future.set_exception(RuntimeError("MicroBatcher is closed"))
+    def retry_after(self) -> float:
+        """Seconds until the backlog plausibly drained at the observed rate."""
+        per_request = self.request_seconds
+        if per_request is None:
+            return DEFAULT_RETRY_AFTER_S
+        return min(30.0, max(0.05, per_request * self.depth))
 
-    def __enter__(self) -> "MicroBatcher":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def _publish_depth(self) -> None:
+        self.batcher.telemetry.gauge(_depth_gauge_name(self.group_key)).set(self.depth)
 
     # ------------------------------------------------------------------
-    # Worker side
-    # ------------------------------------------------------------------
-    def _flush(self, group_key: Hashable, batch: List[_Pending], reason: str) -> None:
-        self.telemetry.increment("batches_flushed")
-        self.telemetry.increment("batched_requests", len(batch))
-        self.telemetry.increment(f"flushes_{reason}")
+    def _flush(self, batch: List[_Pending], reason: str) -> None:
+        telemetry = self.batcher.telemetry
+        telemetry.increment("batches_flushed")
+        telemetry.increment("batched_requests", len(batch))
+        telemetry.increment(f"flushes_{reason}")
+        if isinstance(self.group_key, tuple) and len(self.group_key) == 2:
+            kind = self.group_key[1]
+        else:
+            kind = "other"
+        started = time.perf_counter()
         try:
-            results = self._execute(group_key, [pending.request for pending in batch])
+            with telemetry.timer(f"flush_{kind}"):
+                self._execute_batch(batch)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.release(len(batch))
+            per_request = elapsed / len(batch)
+            if self.request_seconds is None:
+                self.request_seconds = per_request
+            else:
+                self.request_seconds += 0.3 * (per_request - self.request_seconds)
+            self.batcher.policy.observe(
+                self.group_key, len(batch), elapsed, queue_depth=self.depth
+            )
+
+    def _execute_batch(self, batch: List[_Pending]) -> None:
+        execute = self.batcher._execute
+        try:
+            results = execute(self.group_key, [pending.request for pending in batch])
             if len(results) != len(batch):
                 raise RuntimeError(
                     f"execute returned {len(results)} results for {len(batch)} requests"
@@ -146,10 +169,10 @@ class MicroBatcher:
             # One bad request must not fail its coalesced companions: retry
             # the batch one request at a time so only the offender errors.
             # Nothing was resolved yet, so re-execution never double-serves.
-            self.telemetry.increment("flush_error_isolations")
+            self.batcher.telemetry.increment("flush_error_isolations")
             for pending in batch:
                 try:
-                    result = self._execute(group_key, [pending.request])[0]
+                    result = execute(self.group_key, [pending.request])[0]
                 except BaseException as single_error:  # noqa: BLE001
                     pending.future.set_exception(single_error)
                 else:
@@ -159,19 +182,17 @@ class MicroBatcher:
             pending.future.set_result(result)
 
     def _loop(self) -> None:
-        pending: Dict[Hashable, List[_Pending]] = {}
-
-        def oldest_deadline() -> Optional[float]:
-            if not pending:
-                return None
-            return min(batch[0].enqueued_at for batch in pending.values()) + self.max_wait
-
+        pending: List[_Pending] = []
         shutdown = False
         while True:
-            deadline = oldest_deadline()
-            timeout = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            decision = self.batcher.policy.decision(self.group_key)
+            if pending:
+                deadline = pending[0].enqueued_at + decision.max_wait_s
+                timeout = max(0.0, deadline - time.perf_counter())
+            else:
+                timeout = None
             try:
-                item = self._queue.get(timeout=timeout)
+                item = self.queue.get(timeout=timeout)
             except queue.Empty:
                 item = None
             # Drain everything already queued before deciding what to flush:
@@ -182,24 +203,164 @@ class MicroBatcher:
                 if item is _SHUTDOWN:
                     shutdown = True
                 else:
-                    group_key, entry = item
-                    batch = pending.setdefault(group_key, [])
-                    batch.append(entry)
-                    if len(batch) >= self.max_batch_size:
-                        del pending[group_key]
-                        self._flush(group_key, batch, "full")
+                    pending.append(item)
+                    if len(pending) >= decision.max_batch_size:
+                        size = decision.max_batch_size
+                        batch, pending = pending[:size], pending[size:]
+                        self._flush(batch, "full")
+                        decision = self.batcher.policy.decision(self.group_key)
                 try:
-                    item = self._queue.get_nowait()
+                    item = self.queue.get_nowait()
                 except queue.Empty:
                     item = None
-            now = time.perf_counter()
-            for group_key in list(pending):
-                batch = pending[group_key]
-                if shutdown or now - batch[0].enqueued_at >= self.max_wait:
-                    del pending[group_key]
-                    self._flush(group_key, batch, "shutdown" if shutdown else "timed_out")
-            if shutdown:
+            if pending and (
+                shutdown
+                or time.perf_counter() - pending[0].enqueued_at >= decision.max_wait_s
+            ):
+                batch, pending = pending, []
+                self._flush(batch, "shutdown" if shutdown else "timed_out")
+            if shutdown and not pending:
                 return
+
+    def fail_queued(self, error_factory: Callable[[], BaseException]) -> int:
+        """Fail everything still sitting in the queue (post-timeout drain)."""
+        items = []
+        while True:
+            try:
+                items.append(self.queue.get_nowait())
+            except queue.Empty:
+                break
+        failed = 0
+        for item in items:
+            if item is _SHUTDOWN:
+                # Keep the marker: a worker stuck inside execute still needs
+                # it to exit its loop once the engine call returns.
+                self.queue.put(item)
+            else:
+                if item.future.set_running_or_notify_cancel():
+                    item.future.set_exception(error_factory())
+                self.release()
+                failed += 1
+        return failed
+
+
+class MicroBatcher:
+    """Per-group queues + worker threads coalescing requests per group key.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(group_key, requests) -> results`` — evaluated on the
+        group's worker thread with between 1 and the policy's
+        ``max_batch_size`` requests per call.
+    max_batch_size:
+        Flush threshold of the default static policy; ``1`` disables
+        coalescing (serial dispatch).  Ignored when ``policy`` is given.
+    max_wait_ms:
+        Wait bound of the default static policy.  Ignored when ``policy``
+        is given.
+    policy:
+        A :class:`~repro.serve.policy.BatchPolicy`; defaults to
+        ``StaticBatchPolicy(max_batch_size, max_wait_ms)``.
+    max_queue_depth:
+        Per-group bound on in-flight requests (queued + executing); submits
+        over it raise :class:`QueueFullError`.  ``None`` disables shedding.
+    telemetry:
+        Optional shared registry; the batcher counts ``batches_flushed``,
+        ``batched_requests``, ``flushes_full`` / ``flushes_timed_out`` /
+        ``flushes_shutdown``, ``requests_shed``, per-kind ``flush_<kind>``
+        timers and per-group ``queue_depth[...]`` gauges.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Hashable, List[Any]], List[Any]],
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        telemetry: Optional[Telemetry] = None,
+        policy: Optional[BatchPolicy] = None,
+        max_queue_depth: Optional[int] = None,
+    ) -> None:
+        self._execute = execute
+        self.policy = policy if policy is not None else StaticBatchPolicy(max_batch_size, max_wait_ms)
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.max_queue_depth = max_queue_depth
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._workers: Dict[Hashable, _GroupWorker] = {}
+        self._closed = False
+        # Serialises submit's closed-check+enqueue against close's
+        # closed-set+shutdown-marker: every accepted request is enqueued
+        # *before* its group's marker, so the worker's shutdown drain flushes
+        # it and no future is ever stranded by a submit/close race.
+        self._lifecycle = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, group_key: Hashable, request: Any) -> "Future":
+        """Enqueue ``request`` under ``group_key``; resolve via the future.
+
+        Raises :class:`RuntimeError` after :meth:`close` and
+        :class:`QueueFullError` when the group's in-flight bound is hit.
+        """
+        pending = _Pending(request=request, future=Future())
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            worker = self._workers.get(group_key)
+            if worker is None:
+                worker = self._workers[group_key] = _GroupWorker(self, group_key)
+            if not worker.admit():
+                self.telemetry.increment("requests_shed")
+                raise QueueFullError(
+                    group_key, worker.depth, self.max_queue_depth, worker.retry_after()
+                )
+            worker.queue.put(pending)
+        return pending.future
+
+    def queue_depth(self, group_key: Hashable) -> int:
+        """Current in-flight requests (queued + executing) of one group."""
+        worker = self._workers.get(group_key)
+        return 0 if worker is None else worker.depth
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Flush everything still queued and stop every worker thread.
+
+        Gracefully drains by default: each group's worker flushes its
+        backlog before exiting.  Pass ``timeout`` to bound the *total* wait —
+        anything still queued (not yet handed to ``execute``) when it expires
+        fails fast with :class:`RuntimeError` instead of leaving callers
+        blocked; requests already inside an ``execute`` call still resolve
+        whenever it returns.
+        """
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            for worker in workers:
+                worker.queue.put(_SHUTDOWN)
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        for worker in workers:
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            worker.thread.join(timeout=remaining)
+        for worker in workers:  # only finds work when a join timed out
+            worker.fail_queued(lambda: RuntimeError("MicroBatcher is closed"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _depth_gauge_name(group_key: Hashable) -> str:
+    if isinstance(group_key, tuple):
+        label = "/".join(str(part) for part in group_key)
+    else:
+        label = str(group_key)
+    return f"queue_depth[{label}]"
 
 
 def group_key_of(model_name: str, kind: str) -> Tuple[str, str]:

@@ -21,17 +21,27 @@ Routes
     → the ``(D, n)`` heatmap plus the dCAM success ratio where applicable.
 
 Errors map to JSON bodies: 400 for malformed requests, 404 for unknown
-routes/models, 500 otherwise.  Arrays travel as nested JSON lists; numbers
-round-trip exactly (``repr``-based float serialisation on both sides).
+routes/models, **429 + ``Retry-After``** when a model/kind queue is over its
+admission watermark (the load-shedding backpressure signal — see
+:class:`repro.serve.batcher.QueueFullError`), 500 otherwise.  Arrays travel
+as nested JSON lists; numbers round-trip exactly (``repr``-based float
+serialisation on both sides).
+
+Shutdown is a graceful drain: :func:`run_server` stops accepting
+connections, then closes the service, whose batcher flushes every queued
+request (bounded by ``ServeConfig.drain_timeout_s``) before the process
+exits.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from .batcher import QueueFullError
 from .service import ExplanationService
 
 
@@ -39,6 +49,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the service for its handler threads."""
 
     daemon_threads = True
+    # The stdlib default listen backlog (5) resets connections when many
+    # clients connect in one burst; admission control belongs to the
+    # micro-batcher's bounded queues, not the TCP accept queue.
+    request_queue_size = 128
 
     def __init__(self, address: Tuple[str, int], service: ExplanationService) -> None:
         super().__init__(address, _ServiceRequestHandler)
@@ -48,6 +62,15 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
 
+    # HTTP/1.1 keep-alive: every response carries Content-Length, so clients
+    # can reuse connections instead of paying a TCP handshake per request —
+    # load-bearing under heavy traffic (see benchmarks/bench_serve_load.py).
+    protocol_version = "HTTP/1.1"
+    # Responses go out as two writes (header block, then body); with Nagle
+    # enabled the body segment stalls behind the client's delayed ACK —
+    # ~40ms added to every keep-alive response.
+    disable_nagle_algorithm = True
+
     # Quieter than the default stderr-per-request logging; the service's
     # telemetry counters are the intended observability surface.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -56,11 +79,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, payload: Dict[str, Any], extra_headers: Optional[Dict[str, str]] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -102,6 +129,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self._explain(service, payload))
             else:
                 self._send_json(404, {"error": f"unknown route {self.path!r}"})
+        except QueueFullError as error:
+            # Load-shedding backpressure: the request was never admitted, so
+            # the client can safely retry once the queue drains.
+            retry_after = max(1, math.ceil(error.retry_after_s))
+            self._send_json(
+                429,
+                {"error": str(error), "retry_after_s": error.retry_after_s},
+                extra_headers={"Retry-After": str(retry_after)},
+            )
         except KeyError as error:
             self._send_json(404, {"error": str(error.args[0]) if error.args else str(error)})
         except (ValueError, TypeError) as error:
@@ -129,9 +165,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def _explain(self, service: ExplanationService, payload: Dict[str, Any]) -> Dict[str, Any]:
         self._required(payload, "model", "instance")
         response = service.explain(
-            payload["model"], payload["instance"],
+            payload["model"],
+            payload["instance"],
             class_id=payload.get("class_id"),
-            k=payload.get("k"), seed=payload.get("seed"),
+            k=payload.get("k"),
+            seed=payload.get("seed"),
         )
         return {
             "model": response.model,
@@ -145,14 +183,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         }
 
 
-def make_server(service: ExplanationService, host: str = "127.0.0.1",
-                port: int = 0) -> ServiceHTTPServer:
+def make_server(service: ExplanationService, host: str = "127.0.0.1", port: int = 0) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer` (``port=0`` picks an ephemeral port)."""
     return ServiceHTTPServer((host, port), service)
 
 
-def serve_in_background(service: ExplanationService, host: str = "127.0.0.1",
-                        port: int = 0) -> Tuple[ServiceHTTPServer, threading.Thread]:
+def serve_in_background(
+    service: ExplanationService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
     """Start a server thread; returns ``(server, thread)`` — callers own shutdown."""
     server = make_server(service, host, port)
     thread = threading.Thread(target=server.serve_forever, name="repro-serve-http", daemon=True)

@@ -1,0 +1,258 @@
+"""Batching policies: how large a flush grows and how long requests wait.
+
+The micro-batcher (:mod:`repro.serve.batcher`) asks its policy, once per
+accumulation round, for a :class:`FlushDecision` — the flush threshold and
+the wait bound of the *next* batch of one ``(model, kind)`` group — and
+reports every executed flush back through :meth:`BatchPolicy.observe`.  A
+policy therefore closes a feedback loop over exactly the two signals the
+serving layer already measures (queue depth and per-flush latency); it never
+touches request payloads, so **no policy can change response bytes** — the
+engines of :mod:`repro.serve.engine` are coalescing-invariant and the parity
+probe / per-request fallback sits below the policy layer.
+
+Two implementations:
+
+* :class:`StaticBatchPolicy` — the PR-5 reference behaviour: constant flush
+  size and wait bound.  Retained as the baseline the load benchmark
+  (``benchmarks/bench_serve_load.py``) compares against.
+* :class:`AdaptiveBatchPolicy` — feedback-driven (the Bao move: replace
+  fixed heuristics with decisions driven by observed behaviour).  Per group
+  it tracks an exponentially-weighted mean of queue depth and of per-flush
+  latency, then walks the flush size up when a backlog persists (deep queue
+  → bigger batches amortise per-flush overhead → higher goodput) and back
+  down when the queue idles or flushes exceed a latency budget (→ bounded
+  tail latency).  Both walks require ``hysteresis`` *consecutive* signals
+  before stepping, so scheduler noise cannot flap the knobs, and every
+  decision is clamped to hard bounds from :class:`~repro.serve.service.ServeConfig`.
+
+Policy state is only read and mutated from the owning group's single worker
+thread, so implementations need no internal locking (the per-group state
+dict itself is guarded for concurrent first access).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from ..telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class FlushDecision:
+    """The batcher's marching orders for one accumulation round."""
+
+    #: Flush as soon as this many requests are pending.
+    max_batch_size: int
+    #: Flush a partial batch once its oldest request waited this long.
+    max_wait_s: float
+
+
+class BatchPolicy:
+    """Decide flush bounds per group; observe every executed flush."""
+
+    def decision(self, group_key: Hashable) -> FlushDecision:
+        """The flush bounds the group's worker applies to its next batch."""
+        raise NotImplementedError
+
+    def observe(
+        self,
+        group_key: Hashable,
+        batch_size: int,
+        flush_seconds: float,
+        queue_depth: int,
+    ) -> None:
+        """Feedback after a flush: its width, wall clock and the backlog left."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class StaticBatchPolicy(BatchPolicy):
+    """Constant flush bounds — the reference behaviour of PR 5."""
+
+    def __init__(self, max_batch_size: int = 8, max_wait_ms: float = 2.0) -> None:
+        self._decision = FlushDecision(
+            max_batch_size=max(1, int(max_batch_size)),
+            max_wait_s=max(0.0, float(max_wait_ms)) / 1000.0,
+        )
+
+    def decision(self, group_key: Hashable) -> FlushDecision:
+        return self._decision
+
+    def describe(self) -> str:
+        return (
+            f"static(max_batch_size={self._decision.max_batch_size}, "
+            f"max_wait_ms={self._decision.max_wait_s * 1000.0:g})"
+        )
+
+
+class _GroupState:
+    """Per-(model, kind) feedback state of the adaptive policy."""
+
+    __slots__ = (
+        "batch_size",
+        "wait_s",
+        "depth_ewma",
+        "latency_ewma",
+        "grow_streak",
+        "shrink_streak",
+    )
+
+    def __init__(self, batch_size: int, wait_s: float) -> None:
+        self.batch_size = batch_size
+        self.wait_s = wait_s
+        self.depth_ewma = 0.0
+        self.latency_ewma: Optional[float] = None
+        self.grow_streak = 0
+        self.shrink_streak = 0
+
+
+class AdaptiveBatchPolicy(BatchPolicy):
+    """Feedback-driven flush bounds with hysteresis and hard clamps.
+
+    Parameters
+    ----------
+    min_batch_size, max_batch_size:
+        Hard bounds of the flush threshold; the policy starts at
+        ``initial_batch_size`` (clamped) and doubles / halves within them.
+    min_wait_ms, max_wait_ms:
+        Hard bounds of the wait bound.  Under backlog the wait collapses to
+        the minimum (companions are already queued — waiting only adds
+        latency); when the queue idles it relaxes back toward
+        ``initial_wait_ms`` so lone requests can still pick up companions.
+    latency_budget_ms:
+        Soft ceiling on the smoothed per-flush wall clock.  Flushes slower
+        than this shrink the batch even under backlog — the knob that keeps
+        p99 bounded instead of letting goodput greed grow flushes without
+        limit.
+    hysteresis:
+        Consecutive same-direction signals required before the policy steps.
+    ewma_alpha:
+        Smoothing factor of the depth/latency averages (higher = twitchier).
+    telemetry:
+        Optional registry; the policy publishes its current flush size per
+        group as gauge ``policy_batch_size[<model>/<kind>]`` and counts
+        ``policy_grow_steps`` / ``policy_shrink_steps``.
+    """
+
+    def __init__(
+        self,
+        initial_batch_size: int = 8,
+        min_batch_size: int = 1,
+        max_batch_size: int = 64,
+        initial_wait_ms: float = 2.0,
+        min_wait_ms: float = 0.0,
+        max_wait_ms: float = 8.0,
+        latency_budget_ms: float = 250.0,
+        hysteresis: int = 3,
+        ewma_alpha: float = 0.3,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if min_batch_size < 1:
+            raise ValueError(f"min_batch_size must be >= 1, got {min_batch_size}")
+        if max_batch_size < min_batch_size:
+            raise ValueError(
+                f"max_batch_size {max_batch_size} below min_batch_size {min_batch_size}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.min_batch_size = int(min_batch_size)
+        self.max_batch_size = int(max_batch_size)
+        self.initial_batch_size = min(
+            self.max_batch_size, max(self.min_batch_size, int(initial_batch_size))
+        )
+        self.min_wait_s = max(0.0, float(min_wait_ms)) / 1000.0
+        self.max_wait_s = max(self.min_wait_s, float(max_wait_ms) / 1000.0)
+        self.initial_wait_s = min(
+            self.max_wait_s, max(self.min_wait_s, float(initial_wait_ms) / 1000.0)
+        )
+        self.latency_budget_s = max(0.0, float(latency_budget_ms)) / 1000.0
+        self.hysteresis = max(1, int(hysteresis))
+        self.ewma_alpha = float(ewma_alpha)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._states: Dict[Hashable, _GroupState] = {}
+        self._states_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _state(self, group_key: Hashable) -> _GroupState:
+        state = self._states.get(group_key)
+        if state is None:
+            with self._states_lock:
+                state = self._states.setdefault(
+                    group_key, _GroupState(self.initial_batch_size, self.initial_wait_s)
+                )
+        return state
+
+    def decision(self, group_key: Hashable) -> FlushDecision:
+        state = self._state(group_key)
+        return FlushDecision(max_batch_size=state.batch_size, max_wait_s=state.wait_s)
+
+    def observe(
+        self,
+        group_key: Hashable,
+        batch_size: int,
+        flush_seconds: float,
+        queue_depth: int,
+    ) -> None:
+        state = self._state(group_key)
+        alpha = self.ewma_alpha
+        state.depth_ewma += alpha * (float(queue_depth) - state.depth_ewma)
+        if state.latency_ewma is None:
+            state.latency_ewma = float(flush_seconds)
+        else:
+            state.latency_ewma += alpha * (float(flush_seconds) - state.latency_ewma)
+
+        over_budget = (
+            self.latency_budget_s > 0.0 and state.latency_ewma > self.latency_budget_s
+        )
+        # A backlog deeper than one full flush means the group is falling
+        # behind at the current width; an (EWMA) backlog below half a flush
+        # means the width is oversized for the offered load.
+        backlogged = not over_budget and state.depth_ewma >= float(state.batch_size)
+        idle = over_budget or state.depth_ewma < 0.5 * float(state.batch_size)
+
+        state.grow_streak = state.grow_streak + 1 if backlogged else 0
+        state.shrink_streak = state.shrink_streak + 1 if idle else 0
+
+        changed = False
+        if state.grow_streak >= self.hysteresis:
+            state.grow_streak = 0
+            grown = min(self.max_batch_size, state.batch_size * 2)
+            if grown != state.batch_size:
+                state.batch_size = grown
+                self.telemetry.increment("policy_grow_steps")
+                changed = True
+            # Companions are already queued: waiting for more only defers
+            # work, so under backlog the wait bound collapses.
+            state.wait_s = self.min_wait_s
+        elif state.shrink_streak >= self.hysteresis:
+            state.shrink_streak = 0
+            shrunk = max(self.min_batch_size, state.batch_size // 2)
+            if shrunk != state.batch_size:
+                state.batch_size = shrunk
+                self.telemetry.increment("policy_shrink_steps")
+                changed = True
+            # Load is light again: relax the wait back toward the initial
+            # bound so lone requests can pick up companions.
+            state.wait_s = self.initial_wait_s
+        if changed:
+            self.telemetry.increment("policy_adjustments")
+        self.telemetry.gauge(_gauge_name(group_key)).set(state.batch_size)
+
+    def describe(self) -> str:
+        return (
+            f"adaptive(batch {self.min_batch_size}..{self.max_batch_size}, "
+            f"wait {self.min_wait_s * 1000.0:g}..{self.max_wait_s * 1000.0:g}ms, "
+            f"latency budget {self.latency_budget_s * 1000.0:g}ms, "
+            f"hysteresis {self.hysteresis})"
+        )
+
+
+def _gauge_name(group_key: Hashable) -> str:
+    if isinstance(group_key, tuple):
+        label = "/".join(str(part) for part in group_key)
+    else:
+        label = str(group_key)
+    return f"policy_batch_size[{label}]"

@@ -36,7 +36,11 @@ from .batcher import (
     group_key_of,
 )
 from .cache import ExplanationCache, response_cache_key
+from .policy import AdaptiveBatchPolicy, BatchPolicy, StaticBatchPolicy
 from .store import ModelArtifact, ModelArtifactStore
+
+#: Distinguishes "no timeout argument" from an explicit ``timeout=None``.
+_UNSET = object()
 
 
 @dataclass
@@ -44,9 +48,40 @@ class ServeConfig:
     """Knobs of one service instance."""
 
     #: Flush threshold of the micro-batcher; 1 = serial per-request dispatch.
+    #: Under ``batch_policy="adaptive"`` this is the *initial* flush size the
+    #: policy starts walking from.
     max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
-    #: Milliseconds the oldest queued request may wait for companions.
+    #: Milliseconds the oldest queued request may wait for companions.  Under
+    #: ``batch_policy="adaptive"`` this is the initial wait bound.
     max_wait_ms: float = DEFAULT_MAX_WAIT_MS
+    #: Batching policy: ``"static"`` (fixed flush bounds, the reference
+    #: behaviour) or ``"adaptive"`` (feedback-driven flush size / wait from
+    #: observed queue depth and flush latency — see
+    #: :class:`repro.serve.policy.AdaptiveBatchPolicy`).  Either way response
+    #: bytes are identical; the policy only moves scheduling knobs.
+    batch_policy: str = "static"
+    #: Hard lower bound of the adaptive policy's flush size.
+    min_batch_size: int = 1
+    #: Hard upper bound of the adaptive policy's flush size.
+    max_adaptive_batch_size: int = 64
+    #: Hard lower bound (ms) of the adaptive policy's wait bound.
+    min_wait_ms: float = 0.0
+    #: Hard upper bound (ms) of the adaptive policy's wait bound.
+    max_adaptive_wait_ms: float = 8.0
+    #: Soft ceiling (ms) on the adaptive policy's smoothed per-flush wall
+    #: clock; sustained flushes above it shrink the batch to bound tail
+    #: latency.
+    policy_latency_budget_ms: float = 250.0
+    #: Consecutive same-direction feedback signals the adaptive policy needs
+    #: before stepping a knob (hysteresis against scheduler noise).
+    policy_hysteresis: int = 3
+    #: Per-(model, kind) bound on in-flight requests (queued + executing).
+    #: Submits over it shed with :class:`repro.serve.batcher.QueueFullError`
+    #: (HTTP 429 + ``Retry-After``); ``None`` disables load-shedding.
+    max_queue_depth: Optional[int] = 512
+    #: Seconds :meth:`ExplanationService.close` waits for queued requests to
+    #: drain before failing the remainder fast; ``None`` waits indefinitely.
+    drain_timeout_s: Optional[float] = 30.0
     #: Micro-batch width of the underlying engines (cubes per forward for
     #: dCAM); a speed / peak-memory knob that never changes response bytes.
     engine_batch_size: int = 32
@@ -54,7 +89,7 @@ class ServeConfig:
     default_k: int = DEFAULT_K
     #: Largest accepted per-request ``k``: a request's permutation draw and
     #: forward work scale with ``k``, so an unbounded value would let one
-    #: client stall the shared batcher worker (the paper never exceeds 100).
+    #: client stall the group's flush worker (the paper never exceeds 100).
     max_k: int = 4096
     #: Default permutation seed for explains that do not send ``seed``.
     default_seed: int = 0
@@ -63,6 +98,26 @@ class ServeConfig:
     #: recorded at registration does not transfer between machines; the
     #: local probe (sub-second) runs once per artifact at first flush.
     reprobe_parity: bool = True
+
+    def make_batch_policy(self, telemetry: Optional[Telemetry] = None) -> BatchPolicy:
+        """The configured :class:`BatchPolicy` instance."""
+        if self.batch_policy == "static":
+            return StaticBatchPolicy(self.max_batch_size, self.max_wait_ms)
+        if self.batch_policy == "adaptive":
+            return AdaptiveBatchPolicy(
+                initial_batch_size=self.max_batch_size,
+                min_batch_size=self.min_batch_size,
+                max_batch_size=self.max_adaptive_batch_size,
+                initial_wait_ms=self.max_wait_ms,
+                min_wait_ms=self.min_wait_ms,
+                max_wait_ms=self.max_adaptive_wait_ms,
+                latency_budget_ms=self.policy_latency_budget_ms,
+                hysteresis=self.policy_hysteresis,
+                telemetry=telemetry,
+            )
+        raise ValueError(
+            f"unknown batch_policy {self.batch_policy!r} (choose 'static' or 'adaptive')"
+        )
 
 
 @dataclass
@@ -134,8 +189,8 @@ class ExplanationService:
         self._parity: Dict[str, engine.ParityReport] = {}
         self.batcher = MicroBatcher(
             self._execute_group,
-            max_batch_size=self.config.max_batch_size,
-            max_wait_ms=self.config.max_wait_ms,
+            policy=self.config.make_batch_policy(telemetry=self.telemetry),
+            max_queue_depth=self.config.max_queue_depth,
             telemetry=self.telemetry,
         )
 
@@ -152,8 +207,16 @@ class ExplanationService:
     def metrics(self) -> Dict[str, Any]:
         return self.telemetry.snapshot()
 
-    def close(self) -> None:
-        self.batcher.close()
+    def close(self, timeout: Any = _UNSET) -> None:
+        """Drain the batcher and stop its workers.
+
+        ``timeout`` defaults to the config's ``drain_timeout_s``; queued
+        requests still unserved when it expires fail fast instead of
+        hanging their callers.  Pass ``None`` to wait indefinitely.
+        """
+        if timeout is _UNSET:
+            timeout = self.config.drain_timeout_s
+        self.batcher.close(timeout=timeout)
 
     def __enter__(self) -> "ExplanationService":
         return self

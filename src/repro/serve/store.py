@@ -190,8 +190,11 @@ class ModelArtifactStore:
             return model
         artifact = self.artifact(name)
         model = create_model(
-            artifact.model_name, artifact.n_dimensions, artifact.length,
-            artifact.n_classes, **artifact.model_kwargs,
+            artifact.model_name,
+            artifact.n_dimensions,
+            artifact.length,
+            artifact.n_classes,
+            **artifact.model_kwargs,
         )
         load_state_dict(model, os.path.join(self._artifact_dir(name), _WEIGHTS_FILE))
         loaded_hash = state_hash(model)

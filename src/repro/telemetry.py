@@ -1,11 +1,12 @@
-"""Lightweight counters and timers shared by the runtime and the serving layer.
+"""Lightweight counters, timers and gauges shared by the runtime and serving.
 
-One :class:`Telemetry` registry holds named monotonic :class:`Counter`\\ s and
-cumulative :class:`Timer`\\ s.  The primitives are deliberately tiny — a lock,
-an integer / a float — so they can sit on hot paths (the serving batcher, the
-``repro.run`` unit loop) without measurable overhead, and deliberately
-*shared*: the serve ``/metrics`` endpoint and the runtime progress hooks both
-render the same :meth:`Telemetry.snapshot` mapping.
+One :class:`Telemetry` registry holds named monotonic :class:`Counter`\\ s,
+cumulative :class:`Timer`\\ s and last-value :class:`Gauge`\\ s.  The
+primitives are deliberately tiny — a lock, an integer / a float — so they can
+sit on hot paths (the serving batcher, the ``repro.run`` unit loop) without
+measurable overhead, and deliberately *shared*: the serve ``/metrics``
+endpoint and the runtime progress hooks both render the same
+:meth:`Telemetry.snapshot` mapping.
 
 >>> telemetry = Telemetry()
 >>> telemetry.counter("requests").increment()
@@ -40,6 +41,35 @@ class Counter:
 
     @property
     def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A named, thread-safe last-value metric (queue depth, policy state).
+
+    Unlike :class:`Counter` a gauge moves in both directions: ``set`` replaces
+    the value, ``adjust`` moves it relative to the current one (and returns
+    the new value).  Snapshot renders the instantaneous value.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def adjust(self, delta: float) -> float:
+        with self._lock:
+            self._value += float(delta)
+            return self._value
+
+    @property
+    def value(self) -> float:
         return self._value
 
 
@@ -86,6 +116,7 @@ class Telemetry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -102,6 +133,13 @@ class Telemetry:
                 timer = self._timers.setdefault(name, Timer(name))
         return timer
 
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
+
     def increment(self, name: str, amount: int = 1) -> int:
         """Shorthand for ``telemetry.counter(name).increment(amount)``."""
         return self.counter(name).increment(amount)
@@ -112,11 +150,14 @@ class Telemetry:
         with self._lock:
             counters = list(self._counters.values())
             timers = list(self._timers.values())
+            gauges = list(self._gauges.values())
         for counter in counters:
             values[counter.name] = counter.value
         for timer in timers:
             values[f"{timer.name}_seconds"] = timer.seconds
             values[f"{timer.name}_count"] = timer.count
+        for gauge in gauges:
+            values[gauge.name] = gauge.value
         return values
 
 
