@@ -48,8 +48,10 @@ from repro.models.registry import create_model  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
-#: One representative per prepare-input kind.
-DEFAULT_MODELS = ("cnn", "ccnn", "dcnn")
+#: One representative per prepare-input kind, plus the residual/inception
+#: families whose add→relu / concat→BN→ReLU / pool tails have their own
+#: fused nodes.
+DEFAULT_MODELS = ("cnn", "ccnn", "dcnn", "resnet", "inceptiontime")
 
 
 def train_once(model_name, dataset, scale, config):

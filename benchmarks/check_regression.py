@@ -14,7 +14,7 @@ recognised while recursively walking each record:
   reported as ``[info]`` instead of gated.
 * **absolute throughput** — keys ending in ``per_second``.  These depend on
   the host the baseline was recorded on, so they gate loosely: fail when
-  more than ``--absolute-tolerance`` (default 60%) below the baseline.
+  more than ``--absolute-tolerance`` (default 45%) below the baseline.
 
 Results without a committed baseline (or without any recognised metric, e.g.
 the CLI smoke output) are reported but do not fail the gate — commit a
@@ -133,8 +133,8 @@ def main(argv=None):
     parser.add_argument(
         "--absolute-tolerance",
         type=float,
-        default=0.60,
-        help="allowed fractional drop for machine-dependent absolute throughput (default: 0.60)",
+        default=0.45,
+        help="allowed fractional drop for machine-dependent absolute throughput (default: 0.45)",
     )
     parser.add_argument(
         "--min-ratio-baseline",

@@ -59,7 +59,11 @@ _MERGE_SCRATCH_BYTES = 128 * 1024 * 1024
 #: Soft cap on the permuted-series + CAM arrays materialised at once by
 #: :func:`compute_dcam_batch`; above it instances are processed in groups
 #: (micro-batching still crosses instance boundaries within a group).
-_BATCH_MATERIALIZE_BYTES = 256 * 1024 * 1024
+#: Tuned at paper scale (D=40, n=100, k=100, ~6.4 MB/instance): throughput
+#: plateaus once a group holds ~20 instances, so 128 MB matches the 256 MB
+#: setting's speed at half the peak transient footprint (sweep recorded in
+#: docs/benchmarks.md).
+_BATCH_MATERIALIZE_BYTES = 128 * 1024 * 1024
 
 
 @dataclass

@@ -121,17 +121,20 @@ class Explainer:
     # ------------------------------------------------------------------
     # Shared validation
     # ------------------------------------------------------------------
-    @staticmethod
-    def _check_series(series: np.ndarray) -> np.ndarray:
-        series = np.asarray(series, dtype=np.float64)
+    @property
+    def _input_dtype(self) -> np.dtype:
+        """Dtype raw series are cast to — the model's compute dtype."""
+        return getattr(self.model, "compute_dtype", np.dtype(np.float64))
+
+    def _check_series(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=self._input_dtype)
         if series.ndim != 2:
             raise ValueError(f"series must be (D, n), got shape {series.shape}")
         return series
 
-    @staticmethod
-    def _check_batch(X: np.ndarray,
+    def _check_batch(self, X: np.ndarray,
                      class_ids: Sequence[int]) -> Tuple[np.ndarray, List[int]]:
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X, dtype=self._input_dtype)
         if X.ndim != 3:
             raise ValueError(f"X must be (instances, D, n), got shape {X.shape}")
         class_ids = [int(c) for c in class_ids]

@@ -1,16 +1,16 @@
 """grad-CAM explainer: MTEX-CNN's two-block explanation ("MTEX-grad").
 
-The per-instance path reuses :func:`repro.core.gradcam.mtex_explanation`
-verbatim.  The batch engine forwards a whole micro-batch through the shared
-:func:`repro.core.gradcam.mtex_forward` sequence once, selects every
-instance's class logit with one fancy-indexed gather, and back-propagates the
-*sum* of the selected logits in a single ``backward()`` — instances do not
-interact in eval mode (batch normalisation uses running statistics), so each
-instance's feature gradients equal its single-instance gradients.  The
-weight/combine and normalisation steps are the same
-:func:`~repro.core.gradcam.gradcam_batch_from` /
-:func:`~repro.core.gradcam.combine_mtex_maps` helpers the per-instance path
-uses, so both paths agree to float round-off (≤ 1e-10) by construction.
+Both entry points run the graph-free explicit-VJP engine
+(:func:`repro.core.gradcam.mtex_vjp_maps`): the forward passes execute under
+``inference_mode`` (fused eval kernels, no autograd tape) and the class-score
+gradient is propagated by hand through the GAP + dense head, block 2 and the
+merge convolution — :meth:`GradCAMExplainer.explain` is simply the batch
+engine at width 1, so the two paths are bit-identical by construction.
+Instances do not interact in eval mode (batch normalisation uses running
+statistics), so each instance's maps equal its single-instance maps.  The
+recorded-graph path (:func:`repro.core.gradcam.mtex_explanation`) is retained
+as the reference; the VJP engine agrees with it to float round-off (≤ 1e-10,
+pinned by tests).
 """
 
 from __future__ import annotations
@@ -19,12 +19,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..core.gradcam import (
-    combine_mtex_maps,
-    gradcam_batch_from,
-    mtex_explanation,
-    mtex_forward,
-)
+from ..core.gradcam import combine_mtex_maps, mtex_vjp_maps
 from .base import Explainer, Explanation
 from .registry import register_explainer
 
@@ -44,26 +39,16 @@ class GradCAMExplainer(Explainer):
 
     def explain(self, series: np.ndarray, class_id: int) -> Explanation:
         series = self._check_series(series)
-        heatmap = mtex_explanation(self.model, series, int(class_id))
-        return Explanation(heatmap=heatmap, class_id=int(class_id))
+        return self.explain_batch(series[None], [int(class_id)])[0]
 
     def explain_batch(self, X: np.ndarray,
                       class_ids: Sequence[int]) -> List[Explanation]:
         X, class_ids = self._check_batch(X, class_ids)
-        model = self.model
-        model.eval()
         explanations: List[Explanation] = []
         for start in range(0, len(X), self.batch_size):
             stop = min(start + self.batch_size, len(X))
-            batch_ids = np.asarray(class_ids[start:stop])
-            block1, block2, logits = mtex_forward(model,
-                                                  model.prepare_input(X[start:stop]))
-            # Sum of each instance's own class logit: instances are
-            # independent, so the gradients equal the per-instance ones.
-            score = logits[np.arange(len(batch_ids)), batch_ids].sum()
-            score.backward()
-            dimension_maps = gradcam_batch_from(block1, relu=True)  # (B, D, n)
-            temporal_maps = gradcam_batch_from(block2, relu=True)   # (B, n)
+            dimension_maps, temporal_maps = mtex_vjp_maps(
+                self.model, X[start:stop], class_ids[start:stop])
             for offset, class_id in enumerate(class_ids[start:stop]):
                 explanations.append(Explanation(
                     heatmap=combine_mtex_maps(dimension_maps[offset],

@@ -68,6 +68,11 @@ class TrainingConfig:
     #: :class:`repro.training.TrainingEngine`) or "legacy" (the reference
     #: per-batch-prepare loop).  Both produce float-identical results.
     engine: str = "fused"
+    #: Compute precision of the fit: "float64" (the reference, bit-exact
+    #: against the legacy loop) or "float32" (the opt-in fast tier — casts the
+    #: model weights and runs every kernel in single precision; requires the
+    #: fused engine and agrees with float64 to documented tolerances only).
+    precision: str = "float64"
 
 
 @dataclass
@@ -140,6 +145,25 @@ class BaseClassifier(Module):
         self.length = length
         self.n_classes = n_classes
         self.rng = rng or np.random.default_rng()
+        self._compute_dtype = np.dtype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Compute precision
+    # ------------------------------------------------------------------
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Dtype of the weights and of every prepared input (float64 default)."""
+        return getattr(self, "_compute_dtype", np.dtype(np.float64))
+
+    def astype(self, dtype) -> "BaseClassifier":
+        """Cast the model to a compute dtype (see :meth:`Module.astype`).
+
+        Also retargets :meth:`prepare_input`, so subsequent forward passes,
+        explanations and servings run entirely in that precision.
+        """
+        super().astype(dtype)
+        self._compute_dtype = np.dtype(dtype)
+        return self
 
     # ------------------------------------------------------------------
     # Architecture contract
@@ -152,7 +176,7 @@ class BaseClassifier(Module):
         """
         if order is not None:
             raise ValueError(f"{type(self).__name__} does not accept dimension permutations")
-        return Tensor(np.asarray(X, dtype=np.float64))
+        return Tensor(np.asarray(X, dtype=self.compute_dtype))
 
     def features(self, x: Tensor) -> Tensor:
         """Output of the last convolutional block (the CAM feature maps)."""
@@ -259,13 +283,20 @@ class BaseClassifier(Module):
             Training hyper-parameters; see :class:`TrainingConfig`.
         """
         config = config or TrainingConfig()
+        if config.precision not in ("float64", "float32"):
+            raise ValueError(f"unknown precision {config.precision!r}; "
+                             "expected 'float64' or 'float32'")
         if config.engine == "legacy":
+            if config.precision != "float64":
+                raise ValueError("precision='float32' requires the fused engine; "
+                                 "the legacy loop is the float64 reference")
             from ..training.legacy import fit_legacy
 
             return fit_legacy(self, X, y, validation_data, config)
         if config.engine != "fused":
             raise ValueError(f"unknown training engine {config.engine!r}; "
                              "expected 'fused' or 'legacy'")
+        self.astype(np.float32 if config.precision == "float32" else np.float64)
         from ..training.engine import TrainingEngine
 
         return TrainingEngine(self, config).fit(X, y, validation_data)

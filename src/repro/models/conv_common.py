@@ -74,7 +74,7 @@ class ChannelInputMixin:
     def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
         if order is not None:
             raise ValueError("c-architectures do not accept dimension permutations")
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X, dtype=self.compute_dtype)
         if X.ndim != 3:
             raise ValueError("expected a batch of shape (batch, D, n)")
         return Tensor(X[:, None, :, :])
@@ -96,7 +96,7 @@ class CubeInputMixin:
     explainer_family = "dcam"
 
     def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X, dtype=self.compute_dtype)
         if X.ndim != 3:
             raise ValueError("expected a batch of shape (batch, D, n)")
         cube = build_cube_batch(X, order)

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..nn import BatchNorm, Conv1d, Conv2d, Identity, Module, ReLU, Tensor
 from ..nn import functional as F
+from ..nn import fused as _fused
 from .conv_common import ChannelInputMixin, ConvBackboneClassifier, CubeInputMixin
 
 #: Default number of inception modules (depth) in the original architecture.
@@ -68,6 +69,8 @@ class InceptionModule(Module):
 
     def _max_pool(self, x: Tensor) -> Tensor:
         # "Same" max pooling with window 3: pad then pool with stride 1.
+        if _fused.is_fused_training():
+            return _fused.same_max_pool3(x)
         if self.two_dimensional:
             padded = x.pad(((0, 0), (0, 0), (0, 0), (1, 1)))
             return F.max_pool2d(padded, (1, 3), (1, 1))
@@ -78,8 +81,9 @@ class InceptionModule(Module):
         bottlenecked = self.bottleneck(x)
         outputs = [branch(bottlenecked) for branch in self.branches]
         outputs.append(self.pool_conv(self._max_pool(x)))
-        concatenated = Tensor.concatenate(outputs, axis=1)
-        return self.activation(self.norm(concatenated))
+        # One concatenate → BatchNorm → ReLU node under fused training, the
+        # exact composed graph everywhere else.
+        return _fused.concat_batch_norm_relu(outputs, self.norm, axis=1)
 
 
 class _InceptionTimeBase(ConvBackboneClassifier):
@@ -131,7 +135,7 @@ class _InceptionTimeBase(ConvBackboneClassifier):
             if self.residual_every and (index + 1) % self.residual_every == 0:
                 projection = self.residual_projections[residual_index]
                 norm = self.residual_norms[residual_index]
-                out = self.activation(out + norm(projection(residual_input)))
+                out = _fused.add_relu(out, norm(projection(residual_input)))
                 residual_input = out
                 residual_index += 1
         return out

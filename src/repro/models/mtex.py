@@ -66,7 +66,7 @@ class MTEXCNNClassifier(BaseClassifier):
     def prepare_input(self, X: np.ndarray, order: Optional[np.ndarray] = None) -> Tensor:
         if order is not None:
             raise ValueError("MTEX-CNN does not accept dimension permutations")
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X, dtype=self.compute_dtype)
         if X.ndim != 3:
             raise ValueError("expected a batch of shape (batch, D, n)")
         return Tensor(X[:, None, :, :])

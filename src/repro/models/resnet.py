@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn import BatchNorm, Conv1d, Conv2d, Identity, Module, ReLU, Sequential, Tensor
+from ..nn import fused as _fused
 from .conv_common import ChannelInputMixin, ConvBackboneClassifier, CubeInputMixin
 
 #: Filter counts of the three residual blocks in the paper's setup.
@@ -60,14 +61,18 @@ class ResidualBlock(Module):
         self.activation = ReLU()
 
     def forward(self, x: Tensor) -> Tensor:
+        # The BatchNorm → ReLU pairs and the residual add → relu tail dispatch
+        # through the fused helpers: single bit-exact autograd nodes under
+        # fused training, the exact composed modules everywhere else.
         out = x
         last = len(self.convolutions) - 1
         for index, (conv, norm) in enumerate(zip(self.convolutions, self.norms)):
-            out = norm(conv(out))
             if index != last:
-                out = self.activation(out)
+                out = _fused.batch_norm_relu(norm, conv(out))
+            else:
+                out = norm(conv(out))
         shortcut = self.shortcut_norm(self.shortcut(x))
-        return self.activation(out + shortcut)
+        return _fused.add_relu(out, shortcut)
 
 
 class _ResNetBase(ConvBackboneClassifier):

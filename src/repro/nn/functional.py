@@ -237,6 +237,48 @@ def _conv2d_train(x_data: np.ndarray, weight_data: np.ndarray,
     return out, backward
 
 
+def conv2d_input_grad(
+    grad_output: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """VJP of :func:`conv2d` with respect to its input, on plain arrays.
+
+    The explicit-gradient twin of the training backward's input branch, used
+    by graph-free explanation paths (grad-CAM) that run under
+    ``inference_mode``.  The contraction is an ``einsum`` (each output element
+    is accumulated independently, so a row's bits do not depend on the batch
+    width, unlike BLAS ``matmul`` — the property the serving parity probe
+    checks) followed by the same per-row :func:`_col2im` scatter the training
+    path uses.
+    """
+    out_channels = weight.shape[0]
+    weight_2d = np.ascontiguousarray(weight.reshape(out_channels, -1))
+    grad_cols = np.einsum("bohw,oc->bhwc", grad_output, weight_2d)
+    return _col2im(grad_cols, input_shape, weight.shape[2:], stride, padding)
+
+
+def conv1d_input_grad(
+    grad_output: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """VJP of :func:`conv1d` with respect to its input, on plain arrays."""
+    batch, channels, length = input_shape
+    grad4 = conv2d_input_grad(
+        grad_output[:, :, None, :],
+        weight[:, :, None, :],
+        (batch, channels, 1, length),
+        (1, stride),
+        (0, padding),
+    )
+    return np.squeeze(grad4, axis=2)
+
+
 def fused_conv_bn_relu(x_data: np.ndarray, conv, bn) -> np.ndarray:
     """Inference-only fusion of ``Conv2d -> BatchNorm(eval) -> ReLU``.
 

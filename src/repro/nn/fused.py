@@ -28,11 +28,11 @@ legacy loop and all inference paths are unaffected.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled, unbroadcast
 from .workspace import Workspace
 
 
@@ -90,29 +90,30 @@ class fused_training:
 # ---------------------------------------------------------------------------
 # Fused batch normalisation (training mode)
 # ---------------------------------------------------------------------------
-def batch_norm_training(bn, x: Tensor, relu: bool = False) -> Tensor:
-    """One-node replacement for the composed training-mode BatchNorm graph.
+def _batch_norm_node(bn, xd: np.ndarray, relu: bool):
+    """Forward value + backward core of the fused training-mode BatchNorm.
 
     Replays, in order: the running-statistics update (``np.mean`` /
     ``np.var`` replicated via one shared sum), the graph forward
     ``((x - mean) / (var + eps) ** 0.5) * w + b``, and a backward closure
     reproducing the composed graph's gradients — including the
     ``((d-path + mean-path) + var-sub-path) + var-mean-path`` accumulation
-    order of the four contributions into ``x``.
+    order of the four contributions into ``x``.  The scalar constants are
+    materialised in the input's dtype so the float32 compute tier never
+    silently promotes to float64 (a no-op for the float64 reference path).
 
-    With ``relu=True`` the following ReLU node is folded in as well (the
-    ``Conv → BatchNorm → ReLU`` blocks of the CNN family), replicating the
-    composed ``mask``-multiply forward and ``grad * mask`` backward.
+    Returns ``(out_data, backward)`` with ``backward(g) -> (g_x, g_weight,
+    g_bias)``; shared by :func:`batch_norm_training` (parents ``x, w, b``)
+    and :func:`concat_batch_norm_relu` (parents ``*branches, w, b``).
     """
-    if x.shape[1] != bn.num_features:
-        raise ValueError(f"expected {bn.num_features} channels, got {x.shape[1]}")
-    shape = bn._shape_for(x)
-    axes = bn._stat_axes(x)
-    xd = x.data
+    if xd.shape[1] != bn.num_features:
+        raise ValueError(f"expected {bn.num_features} channels, got {xd.shape[1]}")
+    shape = bn._shape_for(xd)
+    axes = bn._stat_axes(xd)
     count = 1
     for axis in axes:
         count *= xd.shape[axis]
-    scale = np.asarray(1.0 / count)
+    scale = np.asarray(1.0 / count, dtype=xd.dtype)
 
     # One reduction serves the running mean (np.mean == sum / count), the
     # running variance (np.var's internal arrmean is the same quotient) and
@@ -128,7 +129,7 @@ def batch_norm_training(bn, x: Tensor, relu: bool = False) -> Tensor:
     mean = sum1 * scale
     c = xd - mean
     var = (c * c).sum(axis=axes, keepdims=True) * scale
-    ve = var + np.asarray(bn.eps)
+    ve = var + np.asarray(bn.eps, dtype=xd.dtype)
     sd = ve ** 0.5
     normalized = c / sd
     w_r = bn.weight.data.reshape(shape)
@@ -164,8 +165,130 @@ def batch_norm_training(bn, x: Tensor, relu: bool = False) -> Tensor:
         g_x = ((g_d + t_mean1) + g_c) + t_mean2
         return (g_x, g_weight, g_bias)
 
-    return Tensor._make(out_data, (x, weight, bias), backward,
+    return out_data, backward
+
+
+def batch_norm_training(bn, x: Tensor, relu: bool = False) -> Tensor:
+    """One-node replacement for the composed training-mode BatchNorm graph.
+
+    With ``relu=True`` the following ReLU node is folded in as well (the
+    ``Conv → BatchNorm → ReLU`` blocks of the CNN family), replicating the
+    composed ``mask``-multiply forward and ``grad * mask`` backward.  See
+    :func:`_batch_norm_node` for the replayed operation order.
+    """
+    out_data, backward = _batch_norm_node(bn, x.data, relu)
+    return Tensor._make(out_data, (x, bn.weight, bn.bias), backward,
                         name="batch_norm_relu" if relu else "batch_norm")
+
+
+def batch_norm_relu(bn, x: Tensor) -> Tensor:
+    """``bn(x).relu()`` with the pair folded into one node under fused training.
+
+    The models that apply BatchNorm and ReLU as direct calls (the residual
+    blocks of ResNet, the inception residual projections) cannot use the
+    ``Sequential``-level pair folding, so they dispatch through this helper;
+    outside fused training it composes the exact modules it replaces.
+    """
+    if bn.training and is_grad_enabled() and _state.active:
+        return batch_norm_training(bn, x, relu=True)
+    return bn(x).relu()
+
+
+def add_relu(a: Tensor, b: Tensor) -> Tensor:
+    """Residual tail ``(a + b).relu()`` as a single node under fused training.
+
+    Replays the composed ``add`` + ``relu`` nodes bit for bit: the same
+    mask-multiply forward (not ``np.maximum``) and the same ``grad * mask``
+    flowing to both parents — the residual shapes are always equal, so the
+    composed add's ``unbroadcast`` is the identity it is here.
+    """
+    if not (_state.active and is_grad_enabled()):
+        return (a + b).relu()
+    out_data = a.data + b.data
+    mask = out_data > 0
+    out_data = out_data * mask
+
+    def backward(g: np.ndarray):
+        g_masked = g * mask
+        return (unbroadcast(g_masked, a.shape), unbroadcast(g_masked, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward, name="add_relu")
+
+
+def concat_batch_norm_relu(tensors: Sequence[Tensor], bn, axis: int = 1) -> Tensor:
+    """InceptionTime's ``concatenate → BatchNorm → ReLU`` tail as one node.
+
+    Under fused training the branch outputs are concatenated once, normalised
+    through :func:`_batch_norm_node` with the ReLU folded in, and the backward
+    closure slices the input gradient back per branch with the exact basic
+    slices :meth:`Tensor.concatenate`'s composed backward produces — so the
+    whole module tail is one autograd node instead of three, bit-identical to
+    the composed graph.  Outside fused training it composes the modules it
+    replaces.
+    """
+    tensors = [Tensor._coerce(t) for t in tensors]
+    if not (_state.active and is_grad_enabled() and bn.training):
+        return bn(Tensor.concatenate(tensors, axis=axis)).relu()
+    xd = np.concatenate([t.data for t in tensors], axis=axis)
+    out_data, bn_backward = _batch_norm_node(bn, xd, relu=True)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        g_x, g_weight, g_bias = bn_backward(g)
+        grads = []
+        for i in range(len(tensors)):
+            index = [slice(None)] * g_x.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g_x[tuple(index)])
+        return tuple(grads) + (g_weight, g_bias)
+
+    return Tensor._make(out_data, tuple(tensors) + (bn.weight, bn.bias), backward,
+                        name="concat_batch_norm_relu")
+
+
+def same_max_pool3(x: Tensor) -> Tensor:
+    """"Same" max pooling (window 3, stride 1) over the last axis as one node.
+
+    Replaces the inception pool branch's composed ``pad → (expand_dims →)
+    max_pool → (squeeze)`` chain — four autograd nodes, an ``np.pad`` call, a
+    materialised window copy for the argmax bookkeeping and an ``np.add.at``
+    scatter — with a single node computing identical values from shifted
+    slices:
+
+    * forward: ``max`` is exact (no rounding), so the shifted-slice
+      ``np.maximum`` chain equals the composed strided-window reduction bit
+      for bit;
+    * argmax ties: strict ``>`` comparisons keep the earliest offset, matching
+      ``np.argmax``'s first-occurrence rule;
+    * backward: per-offset masked adds run in descending offset order, which
+      is exactly the target-position order ``np.add.at`` accumulates
+      overlapping windows in, so the summation rounds identically.  (A masked
+      add can turn a ``-0.0`` gradient into ``+0.0``; like the fused ReLU
+      forward, that is ``array_equal``-neutral.)
+    """
+    xd = x.data
+    length = xd.shape[-1]
+    padded = np.zeros(xd.shape[:-1] + (length + 2,), dtype=xd.dtype)
+    padded[..., 1:-1] = xd
+    w0 = padded[..., :-2]
+    w1 = padded[..., 1:-1]
+    w2 = padded[..., 2:]
+    m01 = np.maximum(w0, w1)
+    out = np.maximum(m01, w2)
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out, name="same_max_pool3")
+    sel2 = w2 > m01
+    sel1 = ~sel2 & (w1 > w0)
+    sel0 = ~(sel2 | sel1)
+
+    def backward(g: np.ndarray):
+        grad_padded = np.zeros(padded.shape, dtype=g.dtype)
+        for offset, sel in ((2, sel2), (1, sel1), (0, sel0)):
+            grad_padded[..., offset:offset + length] += np.where(sel, g, 0.0)
+        return (grad_padded[..., 1:-1],)
+
+    return Tensor._make(out, (x,), backward, name="same_max_pool3")
 
 
 # ---------------------------------------------------------------------------
@@ -187,7 +310,7 @@ def gap_linear_cross_entropy(feats: Tensor, classifier, targets: np.ndarray) -> 
     count = 1
     for axis in spatial_axes:
         count *= fd.shape[axis]
-    s_gap = np.asarray(1.0 / count)
+    s_gap = np.asarray(1.0 / count, dtype=fd.dtype)
     gap_sum = fd.sum(axis=spatial_axes)
     gap = gap_sum * s_gap
 
@@ -204,7 +327,7 @@ def gap_linear_cross_entropy(feats: Tensor, classifier, targets: np.ndarray) -> 
     sumexp = exps.sum(axis=-1, keepdims=True)
     log_probs = shifted - np.log(sumexp)
     picked = log_probs[np.arange(batch), targets]
-    s_mean = np.asarray(1.0 / batch)
+    s_mean = np.asarray(1.0 / batch, dtype=fd.dtype)
     loss_data = -(picked.sum() * s_mean)
 
     weight, bias = classifier.weight, classifier.bias

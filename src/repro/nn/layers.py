@@ -95,6 +95,26 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter and running buffer to ``dtype`` in place.
+
+        Only the two compute dtypes are accepted: float64 (the reference
+        precision) and float32 (the opt-in fast tier).  Pending gradients are
+        dropped — a cast invalidates them.
+        """
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"unsupported compute dtype {dtype!r}; expected float32 or float64")
+        for param in self.parameters():
+            param.data = param.data.astype(dtype, copy=False)
+            param.grad = None
+        for module in self.modules():
+            for attr_name, attr in vars(module).items():
+                if attr_name.startswith("running_") and isinstance(attr, np.ndarray):
+                    setattr(module, attr_name, attr.astype(dtype, copy=False))
+        return self
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

@@ -34,7 +34,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     log_probs = F.log_softmax(logits, axis=-1)
     picked = log_probs[np.arange(batch), targets]
     if class_weights is not None:
-        weights = np.asarray(class_weights, dtype=np.float64)[targets]
+        weights = np.asarray(class_weights, dtype=logits.data.dtype)[targets]
         weighted = picked * Tensor(weights)
         return -(weighted.sum() / float(weights.sum()))
     return -(picked.mean())

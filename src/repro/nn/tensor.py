@@ -100,10 +100,24 @@ def no_grad() -> _GradMode:
     return _GradMode(False)
 
 
+#: The two supported compute dtypes: float64 is the reference precision,
+#: float32 the opt-in fast tier (``TrainingConfig(precision="float32")``).
+_FLOAT32 = np.dtype(np.float32)
+_FLOAT64 = np.dtype(np.float64)
+
+
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
-    """Coerce a python scalar, sequence or array into a float ndarray."""
+    """Coerce a python scalar, sequence or array into a float ndarray.
+
+    Arrays that already carry a float compute dtype (float32 or float64) pass
+    through unchanged, so the dtype chosen by ``prepare_input`` propagates
+    through the whole graph; anything else (python scalars, integer arrays,
+    nested lists) is coerced to ``dtype`` (float64, the reference precision).
+    """
     if isinstance(value, Tensor):
         return value.data
+    if isinstance(value, np.ndarray) and value.dtype in (_FLOAT32, _FLOAT64):
+        return value
     arr = np.asarray(value, dtype=dtype)
     return arr
 
@@ -289,16 +303,24 @@ class Tensor:
         )
 
     @staticmethod
-    def _coerce(other: ArrayLike) -> "Tensor":
+    def _coerce(other: ArrayLike, dtype=np.float64) -> "Tensor":
+        """Wrap ``other`` as a Tensor, coercing scalars/lists to ``dtype``.
+
+        Binary operators pass their own dtype so python scalars join the
+        graph as 0-d arrays of the operand's precision — a 0-d float64 array
+        is a *strong* type under NumPy promotion and would silently lift a
+        float32 graph back to float64.  Float arrays keep their own dtype
+        (see :func:`_as_array`).
+        """
         if isinstance(other, Tensor):
             return other
-        return Tensor(other)
+        return Tensor(_as_array(other, dtype=dtype))
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray):
@@ -319,7 +341,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward, name="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out_data = self.data - other.data
 
         def backward(grad: np.ndarray):
@@ -331,10 +353,10 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward, name="sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor._coerce(other).__sub__(self)
+        return Tensor._coerce(other, self.data.dtype).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray):
@@ -349,7 +371,7 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray):
@@ -361,7 +383,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward, name="div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor._coerce(other).__truediv__(self)
+        return Tensor._coerce(other, self.data.dtype).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -377,7 +399,7 @@ class Tensor:
     # Matrix multiplication
     # ------------------------------------------------------------------
     def matmul(self, other: ArrayLike) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, self.data.dtype)
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray):
@@ -444,7 +466,9 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        # np.where with python-float branches yields float64; pin the input's
+        # dtype so the float32 tier is not silently promoted.
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype, copy=False)
         out_data = self.data * scale
 
         def backward(grad: np.ndarray):

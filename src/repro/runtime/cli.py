@@ -273,6 +273,8 @@ def _build_scale(args: argparse.Namespace):
         training_overrides["epochs"] = args.epochs
     if args.engine is not None:
         training_overrides["engine"] = args.engine
+    if args.precision is not None:
+        training_overrides["precision"] = args.precision
     if training_overrides:
         overrides["training"] = replace(scale.training, **training_overrides)
     return scale.with_overrides(**overrides) if overrides else scale
@@ -328,6 +330,13 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="training engine: the fused prepare-once pipeline "
         "(default) or the reference legacy loop "
         "(float-identical, for cross-checking)",
+    )
+    parser.add_argument(
+        "--precision",
+        choices=["float64", "float32"],
+        help="training compute precision: float64 (the "
+        "bit-exact reference, default) or float32 (the "
+        "opt-in fast tier; requires the fused engine)",
     )
     parser.add_argument(
         "--progress",
@@ -627,6 +636,14 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="MB",
         help="LRU bound of the on-disk cache tier (default: unbounded)",
     )
+    parser.add_argument(
+        "--precision",
+        default="float64",
+        choices=["float64", "float32"],
+        help="serving compute precision: float64 (bit-exact "
+        "reference, default) or float32 (opt-in fast tier; "
+        "responses cached under precision-qualified keys)",
+    )
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -657,6 +674,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         policy_latency_budget_ms=args.latency_budget_ms,
         max_queue_depth=args.max_queue_depth or None,
         drain_timeout_s=args.drain_timeout_s,
+        precision=args.precision,
     )
     service = ExplanationService(store, cache=cache, config=config)
     print(

@@ -75,6 +75,10 @@ class QueueFullError(RuntimeError):
 class _Pending:
     request: Any
     future: Future
+    #: Relative execution cost (e.g. a dCAM request's permutation count ``k``);
+    #: summed per flush and reported to the policy so queue pressure is
+    #: measured in work, not request count.
+    cost: float = 1.0
     enqueued_at: float = field(default_factory=time.perf_counter)
 
 
@@ -92,6 +96,8 @@ class _GroupWorker:
         self.group_key = group_key
         self.queue: "queue.Queue" = queue.Queue()
         self.depth = 0
+        #: Summed cost of the in-flight requests (same accounting as depth).
+        self.cost_in_flight = 0.0
         self.depth_lock = threading.Lock()
         #: EWMA of per-request service seconds; drives retry-after estimates.
         self.request_seconds: Optional[float] = None
@@ -103,19 +109,21 @@ class _GroupWorker:
         self.thread.start()
 
     # ------------------------------------------------------------------
-    def admit(self) -> bool:
+    def admit(self, cost: float = 1.0) -> bool:
         """Reserve one in-flight slot; False when the bound is hit."""
         limit = self.batcher.max_queue_depth
         with self.depth_lock:
             if limit is not None and self.depth >= limit:
                 return False
             self.depth += 1
+            self.cost_in_flight += cost
         self._publish_depth()
         return True
 
-    def release(self, count: int = 1) -> None:
+    def release(self, count: int = 1, cost: float = 0.0) -> None:
         with self.depth_lock:
             self.depth -= count
+            self.cost_in_flight = max(0.0, self.cost_in_flight - cost)
         self._publish_depth()
 
     def retry_after(self) -> float:
@@ -138,20 +146,26 @@ class _GroupWorker:
             kind = self.group_key[1]
         else:
             kind = "other"
+        batch_cost = sum(pending.cost for pending in batch)
         started = time.perf_counter()
         try:
             with telemetry.timer(f"flush_{kind}"):
                 self._execute_batch(batch)
         finally:
             elapsed = time.perf_counter() - started
-            self.release(len(batch))
+            self.release(len(batch), batch_cost)
             per_request = elapsed / len(batch)
             if self.request_seconds is None:
                 self.request_seconds = per_request
             else:
                 self.request_seconds += 0.3 * (per_request - self.request_seconds)
             self.batcher.policy.observe(
-                self.group_key, len(batch), elapsed, queue_depth=self.depth
+                self.group_key,
+                len(batch),
+                elapsed,
+                queue_depth=self.depth,
+                batch_cost=batch_cost,
+                queue_cost=self.cost_in_flight,
             )
 
     def _execute_batch(self, batch: List[_Pending]) -> None:
@@ -239,7 +253,7 @@ class _GroupWorker:
             else:
                 if item.future.set_running_or_notify_cancel():
                     item.future.set_exception(error_factory())
-                self.release()
+                self.release(cost=item.cost)
                 failed += 1
         return failed
 
@@ -298,20 +312,27 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, group_key: Hashable, request: Any) -> "Future":
+    def submit(self, group_key: Hashable, request: Any, cost: float = 1.0) -> "Future":
         """Enqueue ``request`` under ``group_key``; resolve via the future.
+
+        ``cost`` is the request's relative execution weight (the serving layer
+        passes a dCAM explain's permutation count ``k``); a cost-aware policy
+        sizes flushes from the summed cost of the backlog rather than the raw
+        request count.  The default ``1.0`` reproduces count-based behaviour.
 
         Raises :class:`RuntimeError` after :meth:`close` and
         :class:`QueueFullError` when the group's in-flight bound is hit.
         """
-        pending = _Pending(request=request, future=Future())
+        if not cost > 0.0:
+            raise ValueError(f"cost must be > 0, got {cost}")
+        pending = _Pending(request=request, future=Future(), cost=float(cost))
         with self._lifecycle:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
             worker = self._workers.get(group_key)
             if worker is None:
                 worker = self._workers[group_key] = _GroupWorker(self, group_key)
-            if not worker.admit():
+            if not worker.admit(pending.cost):
                 self.telemetry.increment("requests_shed")
                 raise QueueFullError(
                     group_key, worker.depth, self.max_queue_depth, worker.retry_after()

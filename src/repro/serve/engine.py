@@ -29,12 +29,13 @@ evaluated identically whether a flush holds one request or many:
   ``permutations``), whose forward passes run at the same micro-batch quantum
   as the per-request path — responses are bit-identical to
   ``Explainer.explain`` with the request's seeded generator.
-* **explain / gradcam** — MTEX-grad's *backward* pass flows through dense
-  layers whose gradient matmuls are width-sensitive, so coalesced flushes
-  evaluate grad-CAM requests one instance at a time
-  (:func:`repro.core.gradcam.mtex_explanation`, bit-identical to
-  ``Explainer.explain``): exact by construction, with batching amortising
-  only scheduling overhead for this family.
+* **explain / gradcam** — one :meth:`GradCAMExplainer.explain_batch` call:
+  MTEX-grad's backward is an explicit VJP (:func:`repro.core.gradcam.
+  mtex_vjp_maps`) whose forward runs under ``inference_mode`` and whose
+  gradient kernels touch rows independently (einsum contractions, masks, the
+  per-row col2im scatter) — no width-sensitive BLAS matmul anywhere, so a
+  coalesced flush produces the same bytes as per-request execution (probed
+  per artifact like the other families).
 
 :func:`probe_batch_parity` verifies the classify/explain coalescing
 invariance empirically on random instances at registration time; the
@@ -50,7 +51,6 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.gradcam import mtex_explanation
 from ..core.input_transform import random_permutations
 from ..explain.registry import get_explainer
 from ..models.base import BaseClassifier
@@ -101,7 +101,7 @@ def serve_logits(model: BaseClassifier, X: np.ndarray) -> np.ndarray:
     :meth:`~repro.models.base.BaseClassifier.logits`, which is trivially
     width-invariant.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = np.asarray(X, dtype=getattr(model, "compute_dtype", np.float64))
     if not has_gap_head(model):
         return np.concatenate([model.logits(X[index : index + 1]) for index in range(len(X))])
     was_training = model.training
@@ -154,16 +154,22 @@ def _cam_outputs(
 
 
 def _gradcam_outputs(
-    model: BaseClassifier, X: np.ndarray, class_ids: Sequence[int]
+    model: BaseClassifier, X: np.ndarray, class_ids: Sequence[int], batch_size: int
 ) -> List[ExplainOutput]:
-    """MTEX-grad per instance (see module docstring for why not batched)."""
+    """MTEX-grad for a coalesced batch via the graph-free VJP batch engine.
+
+    One ``inference_mode`` forward plus one explicit backward per micro-batch
+    (:func:`repro.core.gradcam.mtex_vjp_maps`); every kernel is per-row
+    independent, so the bytes match per-request execution at any coalescing
+    width (probed per artifact).
+    """
+    explainer = get_explainer(model, batch_size=batch_size, keep_details=False)
+    explanations = explainer.explain_batch(X, class_ids)
     return [
         ExplainOutput(
-            heatmap=mtex_explanation(model, X[index], int(class_id)),
-            class_id=int(class_id),
-            family="gradcam",
+            heatmap=explanation.heatmap, class_id=explanation.class_id, family="gradcam"
         )
-        for index, class_id in enumerate(class_ids)
+        for explanation in explanations
     ]
 
 
@@ -219,11 +225,11 @@ def explain_outputs(
     model_hash: Optional[str] = None,
 ) -> List[ExplainOutput]:
     """Dispatch a coalesced explain batch to its family executor."""
-    X = np.asarray(X, dtype=np.float64)
+    X = np.asarray(X, dtype=getattr(model, "compute_dtype", np.float64))
     if family == "cam":
         return _cam_outputs(model, X, class_ids, batch_size)
     if family == "gradcam":
-        return _gradcam_outputs(model, X, class_ids)
+        return _gradcam_outputs(model, X, class_ids, batch_size)
     if family == "dcam":
         return _dcam_outputs(
             model, X, class_ids, ks, seeds, batch_size, cache=cache, model_hash=model_hash
@@ -249,12 +255,11 @@ def per_request_explain(
     One request through the same canonical execution a coalesced flush uses:
     the family batch engine at width 1.  For dCAM this equals
     :meth:`Explainer.explain` with the request's seeded permutation draw bit
-    for bit, and for grad-CAM it *is* the per-instance
-    :func:`~repro.core.gradcam.mtex_explanation` path; for CAM it is the
-    batch engine's graph-free forward, which agrees with the per-instance
-    ``explain`` graph path to float round-off (≤ 1e-10).
+    for bit; for CAM and grad-CAM it is the batch engine at width 1, which
+    agrees with the per-instance recorded-graph paths to float round-off
+    (≤ 1e-10).
     """
-    series = np.asarray(series, dtype=np.float64)
+    series = np.asarray(series, dtype=getattr(model, "compute_dtype", np.float64))
     if family == "dcam":
         explainer = get_explainer(
             model, batch_size=batch_size, keep_details=False, cache=cache, model_hash=model_hash

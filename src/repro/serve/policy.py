@@ -18,7 +18,10 @@ Two implementations:
 * :class:`AdaptiveBatchPolicy` — feedback-driven (the Bao move: replace
   fixed heuristics with decisions driven by observed behaviour).  Per group
   it tracks an exponentially-weighted mean of queue depth and of per-flush
-  latency, then walks the flush size up when a backlog persists (deep queue
+  latency — the depth weighted by per-request *cost* when the submitter
+  reports one (dCAM explains pass their permutation count ``k``, so a short
+  queue of heavy explains registers as the backlog it really is) — then
+  walks the flush size up when a backlog persists (deep queue
   → bigger batches amortise per-flush overhead → higher goodput) and back
   down when the queue idles or flushes exceed a latency budget (→ bounded
   tail latency).  Both walks require ``hysteresis`` *consecutive* signals
@@ -62,8 +65,16 @@ class BatchPolicy:
         batch_size: int,
         flush_seconds: float,
         queue_depth: int,
+        batch_cost: Optional[float] = None,
+        queue_cost: Optional[float] = None,
     ) -> None:
-        """Feedback after a flush: its width, wall clock and the backlog left."""
+        """Feedback after a flush: its width, wall clock and the backlog left.
+
+        ``batch_cost`` / ``queue_cost`` carry the summed request costs of the
+        flushed batch and of the remaining backlog (e.g. dCAM permutation
+        counts ``k``) when the submitter provided them; cost-aware policies
+        may size flushes from them instead of raw request counts.
+        """
 
     def describe(self) -> str:
         return type(self).__name__
@@ -96,6 +107,7 @@ class _GroupState:
         "wait_s",
         "depth_ewma",
         "latency_ewma",
+        "cost_ewma",
         "grow_streak",
         "shrink_streak",
     )
@@ -105,6 +117,7 @@ class _GroupState:
         self.wait_s = wait_s
         self.depth_ewma = 0.0
         self.latency_ewma: Optional[float] = None
+        self.cost_ewma: Optional[float] = None
         self.grow_streak = 0
         self.shrink_streak = 0
 
@@ -195,10 +208,27 @@ class AdaptiveBatchPolicy(BatchPolicy):
         batch_size: int,
         flush_seconds: float,
         queue_depth: int,
+        batch_cost: Optional[float] = None,
+        queue_cost: Optional[float] = None,
     ) -> None:
         state = self._state(group_key)
         alpha = self.ewma_alpha
-        state.depth_ewma += alpha * (float(queue_depth) - state.depth_ewma)
+        # Cost-aware depth: when the submitter reports per-request costs
+        # (dCAM explains pass their permutation count ``k``), measure the
+        # backlog in units of *average-cost requests* — four queued k=100
+        # explains against a smoothed cost of 25 press as hard as sixteen
+        # typical ones.  Uniform costs of 1.0 reduce this to the raw depth,
+        # so count-only groups (classify) behave exactly as before.
+        if batch_cost is not None and batch_size > 0:
+            per_request_cost = float(batch_cost) / float(batch_size)
+            if state.cost_ewma is None:
+                state.cost_ewma = per_request_cost
+            else:
+                state.cost_ewma += alpha * (per_request_cost - state.cost_ewma)
+        effective_depth = float(queue_depth)
+        if queue_cost is not None and state.cost_ewma is not None and state.cost_ewma > 0.0:
+            effective_depth = float(queue_cost) / state.cost_ewma
+        state.depth_ewma += alpha * (effective_depth - state.depth_ewma)
         if state.latency_ewma is None:
             state.latency_ewma = float(flush_seconds)
         else:

@@ -98,6 +98,14 @@ class ServeConfig:
     #: recorded at registration does not transfer between machines; the
     #: local probe (sub-second) runs once per artifact at first flush.
     reprobe_parity: bool = True
+    #: Serving compute precision: "float64" (the reference — responses are
+    #: bit-identical to offline evaluation) or "float32" (the opt-in fast
+    #: tier — loaded models are cast once and every forward/VJP kernel runs
+    #: in single precision; responses agree with float64 to documented
+    #: tolerances and are cached under precision-qualified keys).  The parity
+    #: probe runs against the cast model, so coalescing stays bit-exact
+    #: within the chosen tier.
+    precision: str = "float64"
 
     def make_batch_policy(self, telemetry: Optional[Telemetry] = None) -> BatchPolicy:
         """The configured :class:`BatchPolicy` instance."""
@@ -181,6 +189,9 @@ class ExplanationService:
     ) -> None:
         self.store = store
         self.config = config or ServeConfig()
+        if self.config.precision not in ("float64", "float32"):
+            raise ValueError(f"unknown precision {self.config.precision!r}; "
+                             "expected 'float64' or 'float32'")
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.cache = cache if cache is not None else ExplanationCache(telemetry=self.telemetry)
         if self.cache.telemetry is not self.telemetry:
@@ -227,6 +238,29 @@ class ExplanationService:
     # ------------------------------------------------------------------
     # Request entry points
     # ------------------------------------------------------------------
+    def _model(self, name: str):
+        """The live model for ``name``, cast to the serving precision.
+
+        The store's warm-cached instance is cast in place exactly once (the
+        cast is idempotent); do not share one store between services running
+        at different precisions.
+        """
+        model = self.store.load(name)
+        if self.config.precision == "float32" and model.compute_dtype != np.float32:
+            model.astype(np.float32)
+        return model
+
+    def _serving_hash(self, artifact: ModelArtifact) -> str:
+        """The artifact's state hash, qualified by the serving precision.
+
+        float32 responses are legitimately different bytes from the float64
+        reference, so they must never collide in the response or
+        per-permutation caches.
+        """
+        if self.config.precision == "float32" and artifact.state_hash:
+            return f"{artifact.state_hash}:float32"
+        return artifact.state_hash
+
     def _check_instance(self, artifact: ModelArtifact, instance) -> np.ndarray:
         series = np.asarray(instance, dtype=np.float64)
         if series.shape != (artifact.n_dimensions, artifact.length):
@@ -241,7 +275,7 @@ class ExplanationService:
         self.telemetry.increment("requests_classify")
         artifact = self.store.artifact(model_name)
         series = self._check_instance(artifact, instance)
-        key = response_cache_key(artifact.state_hash, "classify", series, None, None, None)
+        key = response_cache_key(self._serving_hash(artifact), "classify", series, None, None, None)
         blob = self.cache.get(key)
         if blob is not None:
             return ClassifyResponse(model=model_name, logits=pickle.loads(blob), cached=True)
@@ -289,7 +323,7 @@ class ExplanationService:
             )
         seed = int(seed) if seed is not None else self.config.default_seed
         key = response_cache_key(
-            artifact.state_hash,
+            self._serving_hash(artifact),
             "explain",
             series,
             class_id,
@@ -310,7 +344,13 @@ class ExplanationService:
                 cached=True,
             )
         work = _ExplainWork(instance=series, class_id=class_id, k=k, seed=seed, cache_key=key)
-        future = self.batcher.submit(group_key_of(model_name, "explain"), work)
+        # dCAM explains cost ~k permutation forwards each; reporting k as the
+        # request cost lets a cost-aware policy size flushes by work, not count.
+        future = self.batcher.submit(
+            group_key_of(model_name, "explain"),
+            work,
+            cost=float(k) if uses_permutations else 1.0,
+        )
         output: engine.ExplainOutput = future.result()
         return ExplainResponse(
             model=model_name,
@@ -341,7 +381,7 @@ class ExplanationService:
         artifact = self.store.artifact(model_name)
         recorded = artifact.metadata.get("batch_parity")
         if self.config.reprobe_parity or recorded is None:
-            report = engine.probe_batch_parity(self.store.load(model_name))
+            report = engine.probe_batch_parity(self._model(model_name))
             if recorded is not None and report.to_json() != recorded:
                 self.telemetry.increment("parity_probe_mismatches")
         else:
@@ -354,7 +394,7 @@ class ExplanationService:
 
     def _execute_group(self, group_key, requests: List[Any]) -> List[Any]:
         model_name, kind = group_key
-        model = self.store.load(model_name)
+        model = self._model(model_name)
         parity = self.parity(model_name)
         with self.telemetry.timer("engine"):
             if kind == "classify":
@@ -394,7 +434,7 @@ class ExplanationService:
                 [work.seed for work in requests],
                 batch_size=self.config.engine_batch_size,
                 cache=self.cache,
-                model_hash=artifact.state_hash or None,
+                model_hash=self._serving_hash(artifact) or None,
             )
         else:
             self.telemetry.increment("coalesce_fallbacks")
@@ -408,7 +448,7 @@ class ExplanationService:
                     work.seed,
                     batch_size=self.config.engine_batch_size,
                     cache=self.cache,
-                    model_hash=artifact.state_hash or None,
+                    model_hash=self._serving_hash(artifact) or None,
                 )
                 for work in requests
             ]

@@ -58,7 +58,7 @@ class PreparedInputs:
         if max_materialize_bytes is not None:
             self.max_materialize_bytes = max_materialize_bytes
         self.model = model
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X, dtype=getattr(model, "compute_dtype", np.float64))
         self.raw = X
         estimated = X.nbytes * (X.shape[1] if model.input_kind == "cube" else 1)
         self.materialized = estimated <= self.max_materialize_bytes
@@ -134,7 +134,8 @@ class TrainingEngine:
     def fit(self, X: np.ndarray, y: np.ndarray,
             validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None):
         model, config = self.model, self.config
-        X = np.asarray(X, dtype=np.float64)
+        dtype = getattr(model, "compute_dtype", np.float64)
+        X = np.asarray(X, dtype=dtype)
         y = np.asarray(y, dtype=np.int64)
         if X.ndim != 3:
             raise ValueError("X must be (instances, dimensions, length)")
@@ -149,7 +150,7 @@ class TrainingEngine:
         self.slot_allocations += 1
         if validation_data is not None:
             self.val_inputs = PreparedInputs(
-                model, np.asarray(validation_data[0], dtype=np.float64),
+                model, np.asarray(validation_data[0], dtype=dtype),
                 self.max_materialize_bytes)
         prepare_seconds = time.perf_counter() - prepare_start
 

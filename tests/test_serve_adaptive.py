@@ -158,6 +158,86 @@ class TestAdaptivePolicy:
         assert snapshot["policy_batch_size[m/classify]"] == 16
 
 
+class TestCostAwarePolicy:
+    """Queue pressure weighted by per-request cost (a dCAM explain's ``k``)."""
+
+    def make_policy(self, **kwargs):
+        defaults = dict(initial_batch_size=8, min_batch_size=1, max_batch_size=64,
+                        initial_wait_ms=2.0, min_wait_ms=0.0, max_wait_ms=8.0,
+                        latency_budget_ms=0.0, hysteresis=1, ewma_alpha=1.0)
+        defaults.update(kwargs)
+        return AdaptiveBatchPolicy(**defaults)
+
+    def test_uniform_cost_reproduces_count_based_decisions(self):
+        """cost == 1.0 everywhere must be indistinguishable from no cost info."""
+        count_based = self.make_policy(hysteresis=2)
+        cost_aware = self.make_policy(hysteresis=2)
+        key = ("m", "explain")
+        depths = [50, 50, 50, 0, 0, 0, 2, 7, 50, 0, 50, 50]
+        for depth in depths:
+            count_based.observe(key, batch_size=4, flush_seconds=0.001,
+                                queue_depth=depth)
+            cost_aware.observe(key, batch_size=4, flush_seconds=0.001,
+                               queue_depth=depth, batch_cost=4.0,
+                               queue_cost=float(depth))
+            assert cost_aware.decision(key) == count_based.decision(key)
+
+    def test_heavy_backlog_grows_despite_shallow_queue(self):
+        """Four queued k=100 explains press as hard as 400 cheap ones."""
+        policy = self.make_policy()
+        key = ("m", "explain")
+        # Count-based view: depth 4 at width 8 is neither backlogged nor idle.
+        # With cost reporting, a smoothed per-request cost of 1.0 against a
+        # queued cost of 400 yields an effective depth of 400 -> grow.
+        policy.observe(key, batch_size=8, flush_seconds=0.001, queue_depth=4,
+                       batch_cost=8.0, queue_cost=400.0)
+        assert policy.decision(key).max_batch_size == 16
+
+    def test_heavy_history_discounts_shallow_cheap_queue(self):
+        """After heavy flushes, a few cheap stragglers read as idle, not load."""
+        policy = self.make_policy(hysteresis=3)
+        key = ("m", "explain")
+        # Heavy steady state: per-request cost 100, queue holding 6 heavies
+        # (effective depth 6 at width 8 -> neither signal).
+        for _ in range(3):
+            policy.observe(key, batch_size=8, flush_seconds=0.001, queue_depth=6,
+                           batch_cost=800.0, queue_cost=600.0)
+        assert policy.decision(key).max_batch_size == 8
+        # Six cheap requests now queue: effective depth 6/100 -> idle, shrink.
+        for _ in range(3):
+            policy.observe(key, batch_size=8, flush_seconds=0.001, queue_depth=6,
+                           batch_cost=800.0, queue_cost=6.0)
+        assert policy.decision(key).max_batch_size == 4
+
+    def test_batcher_reports_costs_to_policy(self):
+        """submit(cost=...) flows through to observe as batch/queue cost."""
+        observed = []
+
+        class RecordingPolicy(StaticBatchPolicy):
+            def observe(self, group_key, batch_size, flush_seconds, queue_depth,
+                        batch_cost=None, queue_cost=None):
+                observed.append((batch_size, batch_cost, queue_cost))
+
+        with MicroBatcher(lambda key, requests: requests,
+                          policy=RecordingPolicy(max_batch_size=4, max_wait_ms=1.0)
+                          ) as batcher:
+            key = group_key_of("m", "explain")
+            batcher.submit(key, "a", cost=100.0).result(timeout=5)
+        assert observed
+        total_batch = sum(entry[1] for entry in observed)
+        assert total_batch == pytest.approx(100.0)
+        for _, batch_cost, queue_cost in observed:
+            assert batch_cost > 0
+            assert queue_cost >= 0.0
+
+    def test_non_positive_cost_rejected(self):
+        with MicroBatcher(lambda key, requests: requests) as batcher:
+            with pytest.raises(ValueError, match="cost"):
+                batcher.submit("g", 1, cost=0.0)
+            with pytest.raises(ValueError, match="cost"):
+                batcher.submit("g", 1, cost=-3.0)
+
+
 class TestServeConfigPolicy:
     def test_make_batch_policy_dispatch(self):
         assert isinstance(ServeConfig().make_batch_policy(), StaticBatchPolicy)
