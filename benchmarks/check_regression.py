@@ -13,8 +13,10 @@ recognised while recursively walking each record:
   parallel-vs-serial ratio of 1.005 recorded on a single-core host — and are
   reported as ``[info]`` instead of gated.
 * **absolute throughput** — keys ending in ``per_second``.  These depend on
-  the host the baseline was recorded on, so they gate loosely: fail when
-  more than ``--absolute-tolerance`` (default 45%) below the baseline.
+  the host the baseline was recorded on, so they gate loosely — but no
+  looser than needed: fail when more than ``--absolute-tolerance`` (default
+  35%) below the baseline.  (The bound started at 45% while the baselines
+  were young; it tightens as they are re-recorded on the CI host class.)
 
 Results without a committed baseline (or without any recognised metric, e.g.
 the CLI smoke output) are reported but do not fail the gate — commit a
@@ -133,8 +135,8 @@ def main(argv=None):
     parser.add_argument(
         "--absolute-tolerance",
         type=float,
-        default=0.45,
-        help="allowed fractional drop for machine-dependent absolute throughput (default: 0.45)",
+        default=0.35,
+        help="allowed fractional drop for machine-dependent absolute throughput (default: 0.35)",
     )
     parser.add_argument(
         "--min-ratio-baseline",

@@ -1,0 +1,37 @@
+"""Distributed execution and fleet-shared state for the reproduction.
+
+Two halves, one wire protocol (:mod:`repro.dist.protocol`):
+
+* the **remote byte-store tier** — :class:`RemoteByteStore` against a
+  ``python -m repro byte-store-server`` (:class:`ByteStoreServer`), slotted
+  behind every local :class:`~repro.runtime.eviction.TieredByteStore` so the
+  runtime result cache, the serving explanation cache and the model artifact
+  store share one fleet-wide content-addressed namespace;
+* the **fleet executor** — :class:`FleetExecutor` publishing work units to
+  ``python -m repro worker`` processes with lease/heartbeat/re-queue failure
+  handling and cache-fingerprint dedupe.
+"""
+
+from .client import RemoteByteStore, RemoteStoreConfig, RemoteUnavailableError, WireClient
+from .coordinator import FleetConfig, FleetCoordinator, FleetExecutor, UnitFailedError
+from .protocol import ConnectionClosed, ProtocolError, format_address, parse_address
+from .server import ByteStoreServer, WireServer
+from .worker import run_worker
+
+__all__ = [
+    "ByteStoreServer",
+    "ConnectionClosed",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetExecutor",
+    "ProtocolError",
+    "RemoteByteStore",
+    "RemoteStoreConfig",
+    "RemoteUnavailableError",
+    "UnitFailedError",
+    "WireClient",
+    "WireServer",
+    "format_address",
+    "parse_address",
+    "run_worker",
+]

@@ -1,0 +1,313 @@
+"""Fleet coordination: a work-unit queue served over the wire protocol.
+
+:class:`FleetCoordinator` is the in-memory queue — pending unit deque, active
+leases with heartbeat deadlines, completed result blobs — and
+:class:`FleetExecutor` embeds one (plus a :class:`~repro.dist.server.WireServer`
+publishing the ``fleet-*`` operations) to implement the runtime
+:class:`~repro.runtime.executor.Executor` protocol across machines:
+``python -m repro worker --connect host:port`` processes lease units, execute
+them and post results back, while the executor's ``imap`` yields them in
+submission order exactly like the serial and process-pool executors.
+
+Failure semantics — the part that makes a fleet usable:
+
+* a worker that *reports* an exception fails the unit; the coordinator
+  re-queues it up to ``max_attempts`` times and only then surfaces the error
+  to the caller (as the same exception type semantics as local execution:
+  ``imap`` raises);
+* a worker that *dies silently* (killed, OOM, network partition) simply stops
+  heartbeating; when its lease deadline passes, the unit is re-queued for the
+  next lease request.  Nothing is lost — at-least-once delivery — and because
+  units are deterministic and results content-addressed, re-execution is
+  idempotent;
+* results are delivered as the worker's pickle bytes; when the worker served
+  a unit from the shared cache it forwards the cached blob verbatim, so a
+  warm fleet run is byte-identical to a warm local run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..runtime.spec import WorkUnit, unit_fingerprint
+from ..telemetry import Telemetry
+from .server import WireServer
+
+
+@dataclass
+class FleetConfig:
+    """Knobs of the coordinator embedded in a :class:`FleetExecutor`."""
+
+    #: Interface the coordinator listens on (workers connect here).
+    host: str = "127.0.0.1"
+    #: Port to bind; 0 picks an ephemeral port (printed by the CLI).
+    port: int = 0
+    #: Seconds a leased unit may go without a heartbeat before it is
+    #: considered abandoned and re-queued for another worker.
+    lease_timeout_s: float = 10.0
+    #: Times one unit may be attempted (initial execution + re-queues after
+    #: worker-reported failures or silent deaths) before the run fails.
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+class UnitFailedError(RuntimeError):
+    """A unit exhausted its attempts; carries the last worker-side error."""
+
+
+@dataclass
+class _UnitState:
+    blob: bytes  # pickled (fn, payload)
+    fingerprint: Optional[str]
+    attempts: int = 0
+    result_blob: Optional[bytes] = None
+    from_cache: bool = False
+    error: Optional[str] = None
+    done: bool = False
+
+
+class FleetCoordinator:
+    """The queue itself: thread-safe lease/complete/fail/heartbeat state."""
+
+    def __init__(self, config: FleetConfig, telemetry: Optional[Telemetry] = None) -> None:
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._lock = threading.Condition()
+        self._units: Dict[int, _UnitState] = {}
+        self._pending: Deque[int] = deque()
+        self._leases: Dict[int, Tuple[str, float]] = {}  # unit id -> (worker, deadline)
+        self._next_id = 0
+        self._draining = False
+        self.workers_seen: set = set()
+
+    # -- executor side -------------------------------------------------
+    def submit(self, blob: bytes, fingerprint: Optional[str] = None) -> int:
+        """Enqueue one pickled ``(fn, payload)``; returns its unit id."""
+        with self._lock:
+            unit_id = self._next_id
+            self._next_id += 1
+            self._units[unit_id] = _UnitState(blob=blob, fingerprint=fingerprint)
+            self._pending.append(unit_id)
+            self.telemetry.increment("fleet_units_submitted")
+            self._lock.notify_all()
+        return unit_id
+
+    def wait(self, unit_id: int, timeout_s: Optional[float] = None) -> _UnitState:
+        """Block until ``unit_id`` finishes (or fails); re-queues dead leases."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._lock:
+            while True:
+                state = self._units[unit_id]
+                if state.done:
+                    return state
+                self._expire_leases_locked()
+                remaining = 0.25
+                if deadline is not None:
+                    remaining = min(remaining, deadline - time.monotonic())
+                    if remaining <= 0:
+                        raise TimeoutError(f"unit {unit_id} not finished after {timeout_s}s")
+                # Wake at least every 250ms so lease expiry runs even when no
+                # worker traffic arrives (e.g. the only worker just died).
+                self._lock.wait(timeout=remaining)
+
+    def drain(self) -> None:
+        """Tell pollers the run is over: subsequent leases answer ``shutdown``."""
+        with self._lock:
+            self._draining = True
+            self._lock.notify_all()
+
+    # -- worker side ---------------------------------------------------
+    def lease(self, worker: str) -> Tuple[Optional[int], Optional[_UnitState], bool]:
+        """``(unit_id, state, shutdown)`` — unit id ``None`` when queue is empty."""
+        with self._lock:
+            self.workers_seen.add(worker)
+            self._expire_leases_locked()
+            if not self._pending:
+                return None, None, self._draining
+            unit_id = self._pending.popleft()
+            state = self._units[unit_id]
+            state.attempts += 1
+            self._leases[unit_id] = (worker, time.monotonic() + self.config.lease_timeout_s)
+            self.telemetry.increment("fleet_units_leased")
+            return unit_id, state, False
+
+    def complete(self, unit_id: int, result_blob: bytes, from_cache: bool = False) -> None:
+        with self._lock:
+            state = self._units.get(unit_id)
+            if state is None or state.done:
+                return  # late delivery after an expiry re-run finished first
+            state.result_blob = result_blob
+            state.from_cache = from_cache
+            state.done = True
+            self._leases.pop(unit_id, None)
+            self.telemetry.increment("fleet_units_completed")
+            if from_cache:
+                self.telemetry.increment("fleet_units_deduped")
+            self._lock.notify_all()
+
+    def fail(self, unit_id: int, error: str) -> None:
+        with self._lock:
+            state = self._units.get(unit_id)
+            if state is None or state.done:
+                return
+            self._leases.pop(unit_id, None)
+            self.telemetry.increment("fleet_units_failed")
+            if state.attempts >= self.config.max_attempts:
+                state.error = error
+                state.done = True
+            else:
+                self._pending.append(unit_id)
+            self._lock.notify_all()
+
+    def heartbeat(self, worker: str) -> int:
+        """Extend every lease ``worker`` holds; returns how many it holds."""
+        with self._lock:
+            held = 0
+            deadline = time.monotonic() + self.config.lease_timeout_s
+            for unit_id, (owner, _) in list(self._leases.items()):
+                if owner == worker:
+                    self._leases[unit_id] = (owner, deadline)
+                    held += 1
+            return held
+
+    # ------------------------------------------------------------------
+    def _expire_leases_locked(self) -> None:
+        now = time.monotonic()
+        for unit_id, (worker, deadline) in list(self._leases.items()):
+            if deadline >= now:
+                continue
+            del self._leases[unit_id]
+            state = self._units[unit_id]
+            self.telemetry.increment("fleet_leases_expired")
+            if state.attempts >= self.config.max_attempts:
+                state.error = f"worker {worker!r} stopped heartbeating and attempts are exhausted"
+                state.done = True
+            else:
+                self._pending.appendleft(unit_id)  # dead-worker units jump the queue
+            self._lock.notify_all()
+
+
+class FleetExecutor:
+    """Multi-host :class:`~repro.runtime.executor.Executor` over a worker fleet.
+
+    Embeds the coordinator and its wire server in-process — only workers
+    speak TCP; the executor reads coordinator state directly.  Payloads of
+    the shape ``(scale, WorkUnit)`` (what :func:`repro.runtime.run` ships)
+    are fingerprinted so workers can serve them straight from the shared
+    :class:`~repro.runtime.cache.ResultCache` without executing anything.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.config = config if config is not None else FleetConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.coordinator = FleetCoordinator(self.config, telemetry=self.telemetry)
+        self.server = WireServer(
+            host=self.config.host, port=self.config.port, telemetry=self.telemetry
+        )
+        self._register_ops()
+        self.server.start()
+
+    # ------------------------------------------------------------------
+    def _register_ops(self) -> None:
+        coordinator = self.coordinator
+
+        def handle_lease(header: Dict[str, Any], payload: bytes):
+            worker = str(header.get("worker", "?"))
+            unit_id, state, shutdown = coordinator.lease(worker)
+            if unit_id is None:
+                return {"ok": True, "unit": None, "shutdown": shutdown}, b""
+            return (
+                {
+                    "ok": True,
+                    "unit": unit_id,
+                    "fingerprint": state.fingerprint,
+                    "attempt": state.attempts,
+                },
+                state.blob,
+            )
+
+        def handle_complete(header: Dict[str, Any], payload: bytes):
+            coordinator.complete(
+                int(header["unit"]), payload, from_cache=bool(header.get("cached"))
+            )
+            return {"ok": True}, b""
+
+        def handle_fail(header: Dict[str, Any], payload: bytes):
+            coordinator.fail(int(header["unit"]), str(header.get("error", "unknown error")))
+            return {"ok": True}, b""
+
+        def handle_heartbeat(header: Dict[str, Any], payload: bytes):
+            held = coordinator.heartbeat(str(header.get("worker", "?")))
+            return {"ok": True, "held": held}, b""
+
+        self.server.register("fleet-lease", handle_lease)
+        self.server.register("fleet-complete", handle_complete)
+        self.server.register("fleet-fail", handle_fail)
+        self.server.register("fleet-heartbeat", handle_heartbeat)
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    @property
+    def label(self) -> str:
+        return f"fleet[{self.address}]"
+
+    @staticmethod
+    def _fingerprint(payload: Any) -> Optional[str]:
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and isinstance(payload[1], WorkUnit)
+        ):
+            return unit_fingerprint(payload[0], payload[1])
+        return None
+
+    def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        """Ordered lazy results, yielded as the fleet completes them in order."""
+        unit_ids = [
+            self.coordinator.submit(
+                pickle.dumps((fn, payload), protocol=pickle.HIGHEST_PROTOCOL),
+                fingerprint=self._fingerprint(payload),
+            )
+            for payload in payloads
+        ]
+        for unit_id in unit_ids:
+            state = self.coordinator.wait(unit_id)
+            if state.error is not None:
+                raise UnitFailedError(
+                    f"fleet unit {unit_id} failed after {state.attempts} attempt(s): {state.error}"
+                )
+            yield pickle.loads(state.result_blob)
+
+    def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:
+        return list(self.imap(fn, payloads))
+
+    def close(self) -> None:
+        """Signal workers to shut down and stop the wire server."""
+        self.coordinator.drain()
+        self.server.close()
+
+    def __enter__(self) -> "FleetExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"FleetExecutor(address={self.address!r})"

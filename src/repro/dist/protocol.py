@@ -1,0 +1,118 @@
+"""The fleet wire protocol: length-prefixed framed messages over TCP.
+
+Every message — byte-store requests, coordinator queue operations and their
+responses — travels as one *frame*:
+
+.. code-block:: text
+
+    +-------+------------+-------------+-----------+--------------+---------+
+    | magic | header len | payload len | crc32     | header JSON  | payload |
+    | 2 B   | uint32 BE  | uint64 BE   | uint32 BE | (UTF-8)      | (bytes) |
+    +-------+------------+-------------+-----------+--------------+---------+
+
+The header is a small JSON object (``{"op": "get", "key": "..."}``); the
+payload carries the raw bytes of a blob or a pickled work unit.  Keeping the
+two separate means blobs are never base64-inflated and the server can route
+on the header without touching the payload.  The CRC-32 of the payload is
+verified on receipt, so a torn read (a peer dying mid-write, a proxy
+truncating the stream) surfaces as a :class:`ProtocolError` instead of a
+silently corrupt blob.
+
+Both sides enforce hard size bounds (:data:`MAX_HEADER_BYTES`,
+:data:`MAX_PAYLOAD_BYTES`): a malformed or hostile peer cannot make the
+receiver allocate unbounded memory.
+
+Security model: the protocol authenticates nothing and the fleet layer
+exchanges *pickles* (executable on unpickle) — run servers and workers only
+on networks where every peer is trusted, exactly like a process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Any, Dict, Tuple
+
+#: Frame preamble: magic, header length, payload length, payload CRC-32.
+_PREFIX = struct.Struct("!2sIQI")
+MAGIC = b"rD"
+
+#: Hard bound on the JSON header of one frame.
+MAX_HEADER_BYTES = 1 << 20
+#: Hard bound on the binary payload of one frame (result pickles, weights).
+MAX_PAYLOAD_BYTES = 1 << 32
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (possibly mid-frame)."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; a bare ``":port"`` means localhost."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port:
+        raise ValueError(f"address must look like 'host:port', got {address!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def format_address(host: str, port: int) -> str:
+    return f"{host}:{port}"
+
+
+def send_message(sock: socket.socket, header: Dict[str, Any], payload: bytes = b"") -> None:
+    """Send one frame (header dict + payload bytes) over ``sock``."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {len(header_bytes)} bytes exceeds the protocol bound")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds the protocol bound")
+    prefix = _PREFIX.pack(MAGIC, len(header_bytes), len(payload), zlib.crc32(payload))
+    sock.sendall(prefix + header_bytes + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(f"connection closed with {remaining} of {n} bytes unread")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
+    """Receive one frame; raises :class:`ProtocolError` on anything malformed."""
+    magic, header_len, payload_len, crc = _PREFIX.unpack(_recv_exact(sock, _PREFIX.size))
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header length {header_len} exceeds the protocol bound")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"payload length {payload_len} exceeds the protocol bound")
+    try:
+        header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame header is not valid JSON: {error}") from error
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    payload = _recv_exact(sock, payload_len)
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError("payload checksum mismatch (torn or corrupted frame)")
+    return header, payload
+
+
+def request(
+    sock: socket.socket, header: Dict[str, Any], payload: bytes = b""
+) -> Tuple[Dict[str, Any], bytes]:
+    """One round-trip: send a frame, receive the response frame."""
+    send_message(sock, header, payload)
+    return recv_message(sock)

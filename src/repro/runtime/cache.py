@@ -35,6 +35,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -57,11 +58,16 @@ class ResultCache:
     max_disk_bytes:
         Optional bound on the disk tier; least-recently-used entry files are
         deleted after every store.  ``None`` (the default) never evicts.
+    remote:
+        Optional remote byte-store tier (a :class:`repro.dist.RemoteByteStore`)
+        consulted after both local tiers miss and written through on store,
+        so a whole fleet shares one content-addressed result namespace.
     """
 
     directory: Optional[str] = None
     max_memory_bytes: Optional[int] = None
     max_disk_bytes: Optional[int] = None
+    remote: Optional[Any] = None
     _store: TieredByteStore = field(default=None, repr=False)  # type: ignore[assignment]
     stats: CacheStats = field(default_factory=CacheStats, repr=False)
 
@@ -71,6 +77,7 @@ class ResultCache:
             suffix=".pkl",
             max_memory_bytes=self.max_memory_bytes,
             max_disk_bytes=self.max_disk_bytes,
+            remote=self.remote,
         )
 
     def get_blob(self, key: str) -> Optional[bytes]:
@@ -83,11 +90,23 @@ class ResultCache:
         return blob
 
     def lookup(self, key: str) -> Tuple[bool, Any]:
-        """``(hit, result)`` for ``key``; the result is a fresh unpickle."""
+        """``(hit, result)`` for ``key``; the result is a fresh unpickle.
+
+        A blob that fails to unpickle (torn disk write survived by a crash,
+        bit rot) is treated as a miss: the corrupt entry is dropped from the
+        local tiers so the unit re-executes and overwrites it.
+        """
         blob = self.get_blob(key)
         if blob is None:
             return False, None
-        return True, pickle.loads(blob)
+        try:
+            return True, pickle.loads(blob)
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self._store.invalidate(key)
+            return False, None
 
     def store(self, key: str, result: Any) -> bytes:
         """Pickle ``result`` under ``key``; returns the stored bytes."""

@@ -8,6 +8,9 @@ Examples::
     python -m repro run table3 --models resnet,dcnn --dimensions 4 --epochs 5
     python -m repro export-model --model dcnn --scale tiny --store ./models
     python -m repro serve --store ./models --port 8080
+    python -m repro byte-store-server --port 7070 --dir /srv/repro-store
+    python -m repro run table3 --executor fleet --fleet-port 7075 --cache-dir .repro-cache
+    python -m repro worker --connect 127.0.0.1:7075 --cache-dir .repro-cache
 
 Every experiment goes through the :mod:`repro.runtime` job-graph executor:
 ``--workers N`` fans the independent (dataset, model, seed) cells out over a
@@ -20,6 +23,11 @@ reuse trained-model results.
 registers it into a :class:`repro.serve.ModelArtifactStore`; ``serve`` answers
 classify/explain requests over HTTP from such a store (see
 :mod:`repro.serve`).
+
+Distribution (see :mod:`repro.dist`): ``byte-store-server`` runs the shared
+remote cache tier every store can point at via ``--remote-store host:port``;
+``run --executor fleet`` publishes work units to an embedded coordinator that
+``worker --connect host:port`` processes (on any machine) pull from.
 """
 
 from __future__ import annotations
@@ -298,10 +306,39 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes; >1 enables the parallel executor",
     )
     parser.add_argument(
+        "--executor",
+        default="auto",
+        choices=["auto", "serial", "parallel", "fleet"],
+        help="execution strategy: auto derives serial/parallel from "
+        "--workers; fleet publishes units to an embedded coordinator "
+        "that `python -m repro worker` processes pull from "
+        "(default: auto)",
+    )
+    parser.add_argument(
+        "--fleet-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="interface the fleet coordinator listens on (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--fleet-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="fleet coordinator port; 0 picks an ephemeral port, printed at start (default: 0)",
+    )
+    parser.add_argument(
         "--json", dest="json_path", metavar="PATH", help="write the result (plus run metadata) as JSON"
     )
     parser.add_argument(
         "--cache-dir", metavar="DIR", help="enable the content-addressed result cache, persisted here"
+    )
+    parser.add_argument(
+        "--remote-store",
+        metavar="HOST:PORT",
+        help="shared remote byte-store tier behind the result cache "
+        "(see `python -m repro byte-store-server`); enables the "
+        "cache even without --cache-dir",
     )
     parser.add_argument(
         "--base-seed", type=int, default=0, help="base seed the per-unit seeds derive from (default: 0)"
@@ -346,6 +383,33 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quiet", action="store_true", help="suppress the formatted table/figure output")
 
 
+def _remote_store(address: Optional[str]):
+    """``--remote-store host:port`` → :class:`repro.dist.RemoteByteStore` (or None)."""
+    if not address:
+        return None
+    from ..dist import RemoteByteStore
+
+    return RemoteByteStore(address)
+
+
+def _make_run_executor(args: argparse.Namespace) -> Executor:
+    if args.executor == "fleet":
+        from ..dist import FleetConfig, FleetExecutor
+
+        executor = FleetExecutor(FleetConfig(host=args.fleet_host, port=args.fleet_port))
+        print(
+            f"[repro] fleet coordinator listening on {executor.address} — start workers "
+            f"with `python -m repro worker --connect {executor.address}`",
+            file=sys.stderr,
+        )
+        return executor
+    if args.executor == "serial":
+        return make_executor(1)
+    if args.executor == "parallel":
+        return make_executor(max(2, args.workers))
+    return make_executor(args.workers)
+
+
 def _command_list() -> int:
     entries = _experiment_table()
     width = max(len(name) for name in entries)
@@ -380,31 +444,41 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         return 2
     scale = _build_scale(args)
-    executor = make_executor(args.workers)
-    cache = ResultCache(directory=args.cache_dir) if args.cache_dir else None
+    executor = _make_run_executor(args)
+    cache = (
+        ResultCache(directory=args.cache_dir, remote=_remote_store(args.remote_store))
+        if args.cache_dir or args.remote_store
+        else None
+    )
 
     print(
         f"[repro] running {entry.name} at scale={scale.name} "
         f"executor={executor_label(executor)}"
-        + (f" cache={args.cache_dir}" if args.cache_dir else ""),
+        + (f" cache={args.cache_dir}" if args.cache_dir else "")
+        + (f" remote-store={args.remote_store}" if args.remote_store else ""),
         file=sys.stderr,
     )
     start = time.perf_counter()
-    if args.progress:
-        from ..telemetry import Telemetry
-        from .api import progress_hooks
+    try:
+        if args.progress:
+            from ..telemetry import Telemetry
+            from .api import progress_hooks
 
-        telemetry = Telemetry()
+            telemetry = Telemetry()
 
-        def on_unit(index, total, unit, source):
-            print(f"[repro] unit {index + 1}/{total} {unit.describe()} [{source}]", file=sys.stderr)
+            def on_unit(index, total, unit, source):
+                print(f"[repro] unit {index + 1}/{total} {unit.describe()} [{source}]", file=sys.stderr)
 
-        with progress_hooks(telemetry, on_unit):
+            with progress_hooks(telemetry, on_unit):
+                result = entry.run(scale, args, executor, cache)
+            counters = ", ".join(f"{name}={value}" for name, value in sorted(telemetry.snapshot().items()))
+            print(f"[repro] telemetry: {counters}", file=sys.stderr)
+        else:
             result = entry.run(scale, args, executor, cache)
-        counters = ", ".join(f"{name}={value}" for name, value in sorted(telemetry.snapshot().items()))
-        print(f"[repro] telemetry: {counters}", file=sys.stderr)
-    else:
-        result = entry.run(scale, args, executor, cache)
+    finally:
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()  # a fleet coordinator signals its workers to shut down
     elapsed = time.perf_counter() - start
     cache_line = ""
     if cache is not None:
@@ -471,6 +545,12 @@ def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
         "already trained this configuration) skip training",
     )
     parser.add_argument(
+        "--remote-store",
+        metavar="HOST:PORT",
+        help="shared remote byte store: the artifact is also published "
+        "fleet-wide so other hosts can serve it without re-exporting",
+    )
+    parser.add_argument(
         "--overwrite", action="store_true", help="replace an existing artifact of the same name"
     )
 
@@ -502,7 +582,11 @@ def _command_export_model(args: argparse.Namespace) -> int:
         config_seed=args.base_seed,
     )
     spec = ExperimentSpec(name="export-model", scale=scale, units=(unit,))
-    cache = ResultCache(directory=args.cache_dir) if args.cache_dir else None
+    cache = (
+        ResultCache(directory=args.cache_dir, remote=_remote_store(args.remote_store))
+        if args.cache_dir or args.remote_store
+        else None
+    )
 
     print(
         f"[repro] training {args.model} at scale={scale.name} "
@@ -528,7 +612,7 @@ def _command_export_model(args: argparse.Namespace) -> int:
     else:
         model.eval()
     parity = probe_batch_parity(model)
-    store = ModelArtifactStore(args.store)
+    store = ModelArtifactStore(args.store, remote=_remote_store(args.remote_store))
     artifact_name = args.name or f"{args.model}-{scale.name}"
     artifact = store.register(
         artifact_name,
@@ -644,6 +728,21 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "reference, default) or float32 (opt-in fast tier; "
         "responses cached under precision-qualified keys)",
     )
+    parser.add_argument(
+        "--max-total-depth",
+        type=int,
+        metavar="N",
+        help="global in-flight bound across all (model, kind) groups; "
+        "explains shed at 75%% of it, classifies at 100%% "
+        "(default: disabled)",
+    )
+    parser.add_argument(
+        "--remote-store",
+        metavar="HOST:PORT",
+        help="shared remote byte store backing the artifact store and "
+        "the explanation cache: artifacts exported on other hosts "
+        "become servable here, and cache entries are fleet-shared",
+    )
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -652,7 +751,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     from ..serve.service import ExplanationService, ServeConfig
     from ..serve.store import ModelArtifactStore
 
-    store = ModelArtifactStore(args.store)
+    store = ModelArtifactStore(args.store, remote=_remote_store(args.remote_store))
     names = store.list_names()
     if not names:
         print(
@@ -665,6 +764,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         directory=args.cache_dir,
         max_memory_bytes=int(args.cache_memory_mb * 1024 * 1024),
         max_disk_bytes=None if args.cache_disk_mb is None else int(args.cache_disk_mb * 1024 * 1024),
+        remote=_remote_store(args.remote_store),
     )
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
@@ -673,6 +773,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_adaptive_batch_size=args.max_adaptive_batch_size,
         policy_latency_budget_ms=args.latency_budget_ms,
         max_queue_depth=args.max_queue_depth or None,
+        max_total_depth=args.max_total_depth,
         drain_timeout_s=args.drain_timeout_s,
         precision=args.precision,
     )
@@ -681,7 +782,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"[repro] serving {len(names)} model(s) from {args.store}: "
         f"{', '.join(names)} "
         f"[policy {service.batcher.policy.describe()}, "
-        f"queue bound {config.max_queue_depth or 'unbounded'}]",
+        f"queue bound {config.max_queue_depth or 'unbounded'}]"
+        + (f" [remote store {args.remote_store}]" if args.remote_store else ""),
         file=sys.stderr,
     )
 
@@ -693,6 +795,125 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
 
     run_server(service, args.host, args.port, announce=announce)
+    return 0
+
+
+def _add_byte_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=7070, help="bind port; 0 picks an ephemeral port (default: 7070)"
+    )
+    parser.add_argument(
+        "--dir", dest="directory", metavar="DIR", help="persist blobs here (memory-only otherwise)"
+    )
+    parser.add_argument(
+        "--memory-mb",
+        type=float,
+        default=256.0,
+        metavar="MB",
+        help="LRU bound of the in-memory tier (default: 256)",
+    )
+    parser.add_argument(
+        "--disk-mb",
+        type=float,
+        metavar="MB",
+        help="LRU bound of the on-disk tier (default: unbounded)",
+    )
+
+
+def _command_byte_store_server(args: argparse.Namespace) -> int:
+    from ..dist import ByteStoreServer
+
+    server = ByteStoreServer(
+        host=args.host,
+        port=args.port,
+        directory=args.directory,
+        max_memory_bytes=int(args.memory_mb * 1024 * 1024),
+        max_disk_bytes=None if args.disk_mb is None else int(args.disk_mb * 1024 * 1024),
+    )
+    print(
+        f"[repro] byte-store server listening on {server.address}"
+        + (f" (dir {args.directory})" if args.directory else " (memory-only)")
+        + " — point clients at it with --remote-store; Ctrl-C stops",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[repro] byte-store server stopping", file=sys.stderr)
+        server.close()
+    return 0
+
+
+def _add_worker_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="fleet coordinator address (printed by `repro run --executor fleet`)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="local result-cache directory for unit dedupe (shared via --remote-store)",
+    )
+    parser.add_argument(
+        "--remote-store",
+        metavar="HOST:PORT",
+        help="shared remote byte-store tier behind the worker's result cache",
+    )
+    parser.add_argument(
+        "--provider",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="extra module to import before serving (registers work kinds); repeatable",
+    )
+    parser.add_argument(
+        "--worker-id", metavar="ID", help="lease/heartbeat identity (default: hostname-pid)"
+    )
+    parser.add_argument(
+        "--poll-interval-s",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="idle re-poll delay when the queue is empty (default: 0.2)",
+    )
+    parser.add_argument(
+        "--max-idle-s",
+        type=float,
+        metavar="S",
+        help="exit after this long without work (default: wait for the coordinator to drain)",
+    )
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from ..dist.worker import run_worker
+
+    cache = (
+        ResultCache(directory=args.cache_dir, remote=_remote_store(args.remote_store))
+        if args.cache_dir or args.remote_store
+        else None
+    )
+    print(
+        f"[repro] worker connecting to {args.connect}"
+        + (f" cache={args.cache_dir}" if args.cache_dir else "")
+        + (f" remote-store={args.remote_store}" if args.remote_store else ""),
+        file=sys.stderr,
+    )
+    try:
+        completed = run_worker(
+            args.connect,
+            cache=cache,
+            providers=args.provider,
+            worker_id=args.worker_id,
+            poll_interval_s=args.poll_interval_s,
+            max_idle_s=args.max_idle_s,
+        )
+    except KeyboardInterrupt:
+        print("[repro] worker interrupted", file=sys.stderr)
+        return 130
+    print(f"[repro] worker done: {completed} unit(s) completed", file=sys.stderr)
     return 0
 
 
@@ -724,6 +945,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "micro-batching and a content-addressed explanation cache.",
     )
     _add_serve_arguments(serve_parser)
+    byte_store_parser = subparsers.add_parser(
+        "byte-store-server",
+        help="serve the shared remote byte-store tier",
+        description="Run the reference remote byte-store server every cache "
+        "and artifact store can point at via --remote-store. "
+        "Unauthenticated: bind only on trusted networks.",
+    )
+    _add_byte_store_arguments(byte_store_parser)
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="pull and execute fleet work units",
+        description="Run one fleet worker against a `repro run --executor "
+        "fleet` coordinator: lease units, dedupe against the "
+        "(optionally remote-backed) result cache, execute, report.",
+    )
+    _add_worker_arguments(worker_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -732,6 +969,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_export_model(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "byte-store-server":
+        return _command_byte_store_server(args)
+    if args.command == "worker":
+        return _command_worker(args)
     return _command_run(args)
 
 

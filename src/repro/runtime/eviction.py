@@ -10,10 +10,12 @@ key inside a flat directory.  This module owns the mechanics they share:
 * :func:`enforce_disk_budget` — trim a directory of entry files to a byte
   budget by deleting the least-recently-*used* files (recency is file mtime;
   readers bump it via :func:`touch`);
-* :class:`TieredByteStore` — the two combined: a memory tier in front of an
-  optional directory tier, torn-file-safe writes, promote-on-disk-hit, both
-  tiers LRU-bounded.  The caches wrap it with their own policy (pickle +
-  hit/miss stats for the runtime, telemetry counters for serving).
+* :class:`TieredByteStore` — the tiers combined: a memory tier in front of an
+  optional directory tier and an optional *remote* tier (a
+  :class:`repro.dist.RemoteByteStore` shared by a whole fleet), torn-file-safe
+  writes, promote-on-hit from the slower tiers, local tiers LRU-bounded.  The
+  caches wrap it with their own policy (pickle + hit/miss stats for the
+  runtime, telemetry counters for serving).
 
 Eviction is size-triggered, never time-triggered, so a store below its budget
 behaves exactly like the unbounded caches these helpers replaced.
@@ -68,6 +70,12 @@ class BoundedMemoryStore:
                     _, evicted = self._entries.popitem(last=False)
                     self._total_bytes -= len(evicted)
                     self.evictions += 1
+
+    def discard(self, key: str) -> None:
+        with self._lock:
+            blob = self._entries.pop(key, None)
+            if blob is not None:
+                self._total_bytes -= len(blob)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -135,12 +143,17 @@ def enforce_disk_budget(directory: str, max_bytes: Optional[int], suffix: str = 
 
 
 class TieredByteStore:
-    """Memory tier (+ optional disk tier) with LRU bounds on both.
+    """Memory tier (+ optional disk and remote tiers) with LRU bounds.
 
-    ``get`` falls back to disk on a memory miss, promotes the entry back into
-    memory and bumps the file's mtime; ``put`` writes memory-first, then the
-    file via write-then-rename so concurrent readers never see a torn entry,
-    and finally enforces the disk budget.  ``evictions`` counts both tiers.
+    ``get`` falls back to disk on a memory miss — promoting the entry back
+    into memory and bumping the file's mtime — and then to the optional
+    *remote* tier (any object with ``get``/``put``/``contains``, typically a
+    :class:`repro.dist.RemoteByteStore`); a remote hit is materialised into
+    both local tiers so subsequent reads never touch the network.  ``put``
+    writes memory-first, then the file via write-then-rename so concurrent
+    readers never see a torn entry, then write-through to the remote
+    (best-effort: a down remote never fails a local write), and finally
+    enforces the disk budget.  ``evictions`` counts both local tiers.
     """
 
     def __init__(
@@ -149,10 +162,12 @@ class TieredByteStore:
         suffix: str = ".pkl",
         max_memory_bytes: Optional[int] = None,
         max_disk_bytes: Optional[int] = None,
+        remote: Optional[object] = None,
     ) -> None:
         self.directory = directory
         self.suffix = suffix
         self.max_disk_bytes = max_disk_bytes
+        self.remote = remote
         self.memory = BoundedMemoryStore(max_memory_bytes)
         self.disk_evictions = 0
         if directory:
@@ -175,33 +190,61 @@ class TieredByteStore:
         blob = self.memory.get(key)
         if blob is None and self.directory:
             path = self.path(key)
-            if os.path.exists(path):
+            try:  # a torn/evicted-underneath-us file is a miss, not a crash
                 with open(path, "rb") as handle:
                     blob = handle.read()
+            except OSError:
+                blob = None
+            else:
                 touch(path)
                 self.memory.put(key, blob)
+        if blob is None and self.remote is not None:
+            blob = self.remote.get(key)
+            if blob is not None:  # promote so the next read stays local
+                self.memory.put(key, blob)
+                self._store_disk(key, blob)
         return blob
 
     def put(self, key: str, blob: bytes) -> None:
         self.memory.put(key, blob)
+        self._store_disk(key, blob)
+        if self.remote is not None:
+            self.remote.put(key, blob)  # best-effort write-through
+
+    def invalidate(self, key: str) -> None:
+        """Drop ``key`` from the local tiers (e.g. a blob that failed to parse).
+
+        The remote tier is left alone: its frames are checksum-verified in
+        transit, so local corruption says nothing about the remote copy — the
+        next ``get`` re-fetches and re-materialises it.
+        """
+        self.memory.discard(key)
         if self.directory:
-            fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp_path, self.path(key))
-            finally:
-                if os.path.exists(tmp_path):
-                    os.unlink(tmp_path)
-            if self.max_disk_bytes is not None:
-                self._approx_disk_bytes += len(blob)
-                if self._approx_disk_bytes > self.max_disk_bytes:
-                    self.disk_evictions += enforce_disk_budget(
-                        self.directory, self.max_disk_bytes, suffix=self.suffix
-                    )
-                    self._approx_disk_bytes = sum(
-                        size for _, size, _ in _entry_files(self.directory, self.suffix)
-                    )
+                os.unlink(self.path(key))
+            except OSError:
+                pass
+
+    def _store_disk(self, key: str, blob: bytes) -> None:
+        if not self.directory:
+            return
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, self.path(key))
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        if self.max_disk_bytes is not None:
+            self._approx_disk_bytes += len(blob)
+            if self._approx_disk_bytes > self.max_disk_bytes:
+                self.disk_evictions += enforce_disk_budget(
+                    self.directory, self.max_disk_bytes, suffix=self.suffix
+                )
+                self._approx_disk_bytes = sum(
+                    size for _, size, _ in _entry_files(self.directory, self.suffix)
+                )
 
     @property
     def evictions(self) -> int:
@@ -210,7 +253,9 @@ class TieredByteStore:
     def __contains__(self, key: str) -> bool:
         if key in self.memory:
             return True
-        return bool(self.directory) and os.path.exists(self.path(key))
+        if bool(self.directory) and os.path.exists(self.path(key)):
+            return True
+        return self.remote is not None and self.remote.contains(key)
 
     def __len__(self) -> int:
         keys = set(self.memory)

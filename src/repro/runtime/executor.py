@@ -107,6 +107,9 @@ def make_executor(workers: Optional[int]) -> Executor:
 
 def executor_label(executor: Executor) -> str:
     """Short description used in logs and benchmark records."""
+    label = getattr(executor, "label", None)  # e.g. FleetExecutor's "fleet[host:port]"
+    if isinstance(label, str):
+        return label
     if isinstance(executor, ParallelExecutor):
         return f"parallel[{executor.workers}]"
     return "serial"

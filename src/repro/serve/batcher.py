@@ -24,7 +24,13 @@ requests (queued + executing).  A submit over the bound fails fast with
 :class:`QueueFullError` carrying a ``retry_after_s`` estimate from the
 group's smoothed service rate — the backpressure signal the HTTP layer
 translates into ``429`` + ``Retry-After`` instead of letting queues (and
-client latency) grow without bound.
+client latency) grow without bound.  ``max_total_depth`` adds a *global*
+bound across every group, and it is **priority-aware**: normal-priority
+submits (expensive explains) are shed once the total reaches
+``shed_watermark`` of the bound, while high-priority submits (cheap
+classifies, health-relevant traffic) ride all the way to the full bound — so
+under fleet-wide pressure the service keeps answering cheap requests long
+after it has started refusing expensive ones.
 
 The ``execute(group_key, requests)`` callable runs on the group's worker
 thread and must return one result per request (order-preserving); an
@@ -124,6 +130,7 @@ class _GroupWorker:
         with self.depth_lock:
             self.depth -= count
             self.cost_in_flight = max(0.0, self.cost_in_flight - cost)
+        self.batcher._release_total(count)
         self._publish_depth()
 
     def retry_after(self) -> float:
@@ -148,6 +155,10 @@ class _GroupWorker:
             kind = "other"
         batch_cost = sum(pending.cost for pending in batch)
         started = time.perf_counter()
+        # Batcher-visible queueing delay of this flush: how long its oldest
+        # request sat before execution began.  Reported to the policy so an
+        # adaptive width answers to end-to-end latency, not just flush time.
+        queue_seconds = max(0.0, started - batch[0].enqueued_at)
         try:
             with telemetry.timer(f"flush_{kind}"):
                 self._execute_batch(batch)
@@ -166,6 +177,7 @@ class _GroupWorker:
                 queue_depth=self.depth,
                 batch_cost=batch_cost,
                 queue_cost=self.cost_in_flight,
+                queue_seconds=queue_seconds,
             )
 
     def _execute_batch(self, batch: List[_Pending]) -> None:
@@ -279,11 +291,22 @@ class MicroBatcher:
     max_queue_depth:
         Per-group bound on in-flight requests (queued + executing); submits
         over it raise :class:`QueueFullError`.  ``None`` disables shedding.
+    max_total_depth:
+        Global bound on in-flight requests across *all* groups; ``None``
+        disables it.  Priority-aware: submits with ``priority > 0`` may fill
+        the whole bound, priority-0 submits are shed once the total reaches
+        ``shed_watermark * max_total_depth`` — expensive work yields
+        admission headroom to cheap work under global pressure.
+    shed_watermark:
+        Fraction of ``max_total_depth`` where priority-0 submits start
+        shedding (default 0.75).
     telemetry:
         Optional shared registry; the batcher counts ``batches_flushed``,
         ``batched_requests``, ``flushes_full`` / ``flushes_timed_out`` /
-        ``flushes_shutdown``, ``requests_shed``, per-kind ``flush_<kind>``
-        timers and per-group ``queue_depth[...]`` gauges.
+        ``flushes_shutdown``, ``requests_shed`` (plus
+        ``requests_shed_priority`` for priority-0 sheds at the global
+        watermark), per-kind ``flush_<kind>`` timers, per-group
+        ``queue_depth[...]`` gauges and the global ``total_depth`` gauge.
     """
 
     def __init__(
@@ -294,12 +317,22 @@ class MicroBatcher:
         telemetry: Optional[Telemetry] = None,
         policy: Optional[BatchPolicy] = None,
         max_queue_depth: Optional[int] = None,
+        max_total_depth: Optional[int] = None,
+        shed_watermark: float = 0.75,
     ) -> None:
         self._execute = execute
         self.policy = policy if policy is not None else StaticBatchPolicy(max_batch_size, max_wait_ms)
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_total_depth is not None and max_total_depth < 1:
+            raise ValueError(f"max_total_depth must be >= 1, got {max_total_depth}")
+        if not 0.0 < shed_watermark <= 1.0:
+            raise ValueError(f"shed_watermark must be in (0, 1], got {shed_watermark}")
         self.max_queue_depth = max_queue_depth
+        self.max_total_depth = max_total_depth
+        self.shed_watermark = float(shed_watermark)
+        self._total_depth = 0
+        self._total_lock = threading.Lock()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._workers: Dict[Hashable, _GroupWorker] = {}
         self._closed = False
@@ -312,7 +345,9 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, group_key: Hashable, request: Any, cost: float = 1.0) -> "Future":
+    def submit(
+        self, group_key: Hashable, request: Any, cost: float = 1.0, priority: int = 0
+    ) -> "Future":
         """Enqueue ``request`` under ``group_key``; resolve via the future.
 
         ``cost`` is the request's relative execution weight (the serving layer
@@ -320,8 +355,14 @@ class MicroBatcher:
         sizes flushes from the summed cost of the backlog rather than the raw
         request count.  The default ``1.0`` reproduces count-based behaviour.
 
+        ``priority`` only matters under a global ``max_total_depth`` bound:
+        priority-0 submits shed at the ``shed_watermark`` fraction of it,
+        ``priority > 0`` submits at the full bound (cheap classifies outlive
+        expensive explains under global pressure).
+
         Raises :class:`RuntimeError` after :meth:`close` and
-        :class:`QueueFullError` when the group's in-flight bound is hit.
+        :class:`QueueFullError` when the group's or the global in-flight
+        bound is hit.
         """
         if not cost > 0.0:
             raise ValueError(f"cost must be > 0, got {cost}")
@@ -332,13 +373,43 @@ class MicroBatcher:
             worker = self._workers.get(group_key)
             if worker is None:
                 worker = self._workers[group_key] = _GroupWorker(self, group_key)
+            admitted, total_limit = self._admit_total(priority)
+            if not admitted:
+                self.telemetry.increment("requests_shed")
+                if priority <= 0:
+                    self.telemetry.increment("requests_shed_priority")
+                raise QueueFullError(
+                    group_key, self._total_depth, total_limit, worker.retry_after()
+                )
             if not worker.admit(pending.cost):
+                self._release_total()
                 self.telemetry.increment("requests_shed")
                 raise QueueFullError(
                     group_key, worker.depth, self.max_queue_depth, worker.retry_after()
                 )
             worker.queue.put(pending)
         return pending.future
+
+    def _admit_total(self, priority: int) -> Tuple[bool, Optional[int]]:
+        """Reserve one global slot; ``(admitted, effective_limit)``."""
+        limit = self.max_total_depth
+        effective = limit
+        with self._total_lock:
+            if limit is not None:
+                if priority <= 0:
+                    effective = max(1, int(limit * self.shed_watermark))
+                if self._total_depth >= effective:
+                    return False, effective
+            self._total_depth += 1
+            depth = self._total_depth
+        self.telemetry.gauge("total_depth").set(depth)
+        return True, effective
+
+    def _release_total(self, count: int = 1) -> None:
+        with self._total_lock:
+            self._total_depth = max(0, self._total_depth - count)
+            depth = self._total_depth
+        self.telemetry.gauge("total_depth").set(depth)
 
     def queue_depth(self, group_key: Hashable) -> int:
         """Current in-flight requests (queued + executing) of one group."""

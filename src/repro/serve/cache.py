@@ -105,6 +105,10 @@ class ExplanationCache:
         cache counts ``cache_hits`` / ``cache_misses`` / ``cache_stores`` /
         ``cache_evictions`` into it (the serve ``/metrics`` endpoint exposes
         them).
+    remote:
+        Optional remote tier (a :class:`repro.dist.RemoteByteStore`): misses
+        fall through to it and stores write through, so every serving host
+        sharing one byte-store server shares one warm explanation set.
     """
 
     def __init__(
@@ -113,13 +117,16 @@ class ExplanationCache:
         max_memory_bytes: Optional[int] = DEFAULT_MEMORY_BYTES,
         max_disk_bytes: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        remote: Optional[object] = None,
     ) -> None:
         self.directory = directory
+        self.remote = remote
         self._store = TieredByteStore(
             directory=directory,
             suffix=_SUFFIX,
             max_memory_bytes=max_memory_bytes,
             max_disk_bytes=max_disk_bytes,
+            remote=remote,
         )
         self.telemetry = telemetry if telemetry is not None else Telemetry()
 

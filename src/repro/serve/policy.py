@@ -67,6 +67,7 @@ class BatchPolicy:
         queue_depth: int,
         batch_cost: Optional[float] = None,
         queue_cost: Optional[float] = None,
+        queue_seconds: Optional[float] = None,
     ) -> None:
         """Feedback after a flush: its width, wall clock and the backlog left.
 
@@ -74,6 +75,10 @@ class BatchPolicy:
         flushed batch and of the remaining backlog (e.g. dCAM permutation
         counts ``k``) when the submitter provided them; cost-aware policies
         may size flushes from them instead of raw request counts.
+        ``queue_seconds`` is the batcher-visible queueing delay of the flush
+        (how long its oldest request waited before execution started) —
+        together with ``flush_seconds`` it approximates the end-to-end
+        latency a client observed.
         """
 
     def describe(self) -> str:
@@ -107,6 +112,7 @@ class _GroupState:
         "wait_s",
         "depth_ewma",
         "latency_ewma",
+        "queue_ewma",
         "cost_ewma",
         "grow_streak",
         "shrink_streak",
@@ -117,6 +123,7 @@ class _GroupState:
         self.wait_s = wait_s
         self.depth_ewma = 0.0
         self.latency_ewma: Optional[float] = None
+        self.queue_ewma = 0.0
         self.cost_ewma: Optional[float] = None
         self.grow_streak = 0
         self.shrink_streak = 0
@@ -139,7 +146,12 @@ class AdaptiveBatchPolicy(BatchPolicy):
         Soft ceiling on the smoothed per-flush wall clock.  Flushes slower
         than this shrink the batch even under backlog — the knob that keeps
         p99 bounded instead of letting goodput greed grow flushes without
-        limit.
+        limit.  The same budget is also held against the smoothed
+        *end-to-end* latency (batcher-visible queueing + flush): when
+        queueing pushes it over budget while flushes themselves are fine,
+        that is a **grow** signal — wider flushes drain the queue — so the
+        width answers to what clients actually wait, not just flush wall
+        clock.
     hysteresis:
         Consecutive same-direction signals required before the policy steps.
     ewma_alpha:
@@ -210,6 +222,7 @@ class AdaptiveBatchPolicy(BatchPolicy):
         queue_depth: int,
         batch_cost: Optional[float] = None,
         queue_cost: Optional[float] = None,
+        queue_seconds: Optional[float] = None,
     ) -> None:
         state = self._state(group_key)
         alpha = self.ewma_alpha
@@ -233,15 +246,32 @@ class AdaptiveBatchPolicy(BatchPolicy):
             state.latency_ewma = float(flush_seconds)
         else:
             state.latency_ewma += alpha * (float(flush_seconds) - state.latency_ewma)
+        if queue_seconds is not None:
+            state.queue_ewma += alpha * (float(queue_seconds) - state.queue_ewma)
 
-        over_budget = (
+        # Two views of the latency budget.  *Flush* time over budget means
+        # the batches themselves are too slow: shrink.  *End-to-end* time
+        # (queueing + flush) over budget while flushes are fine means
+        # requests are dying in the queue — the cure is wider flushes that
+        # drain the backlog, so it counts as a grow signal (given there is a
+        # backlog at all), never a shrink one.
+        flush_over = (
             self.latency_budget_s > 0.0 and state.latency_ewma > self.latency_budget_s
+        )
+        e2e_over = (
+            self.latency_budget_s > 0.0
+            and state.latency_ewma + state.queue_ewma > self.latency_budget_s
         )
         # A backlog deeper than one full flush means the group is falling
         # behind at the current width; an (EWMA) backlog below half a flush
         # means the width is oversized for the offered load.
-        backlogged = not over_budget and state.depth_ewma >= float(state.batch_size)
-        idle = over_budget or state.depth_ewma < 0.5 * float(state.batch_size)
+        backlogged = not flush_over and (
+            state.depth_ewma >= float(state.batch_size)
+            or (e2e_over and state.depth_ewma >= 1.0)
+        )
+        idle = flush_over or (
+            state.depth_ewma < 0.5 * float(state.batch_size) and not e2e_over
+        )
 
         state.grow_streak = state.grow_streak + 1 if backlogged else 0
         state.shrink_streak = state.shrink_streak + 1 if idle else 0

@@ -79,6 +79,15 @@ class ServeConfig:
     #: Submits over it shed with :class:`repro.serve.batcher.QueueFullError`
     #: (HTTP 429 + ``Retry-After``); ``None`` disables load-shedding.
     max_queue_depth: Optional[int] = 512
+    #: Global bound on in-flight requests across every (model, kind) group;
+    #: ``None`` (the default) disables it.  Priority-aware: cheap classify
+    #: requests may fill the whole bound, expensive explain requests shed
+    #: once the total reaches ``shed_watermark`` of it — under fleet-wide
+    #: pressure ``/classify`` outlives ``/explain``.
+    max_total_depth: Optional[int] = None
+    #: Fraction of ``max_total_depth`` where explain (priority-0) submits
+    #: start shedding.
+    shed_watermark: float = 0.75
     #: Seconds :meth:`ExplanationService.close` waits for queued requests to
     #: drain before failing the remainder fast; ``None`` waits indefinitely.
     drain_timeout_s: Optional[float] = 30.0
@@ -197,11 +206,18 @@ class ExplanationService:
         if self.cache.telemetry is not self.telemetry:
             # One registry for the whole service, whatever the caller built.
             self.cache.telemetry = self.telemetry
+        remote = getattr(self.cache, "remote", None)
+        if remote is not None and getattr(remote, "telemetry", None) is not self.telemetry:
+            # Remote-tier traffic (hits/misses/errors/latency) belongs in the
+            # same /metrics snapshot as the rest of the service.
+            remote.telemetry = self.telemetry
         self._parity: Dict[str, engine.ParityReport] = {}
         self.batcher = MicroBatcher(
             self._execute_group,
             policy=self.config.make_batch_policy(telemetry=self.telemetry),
             max_queue_depth=self.config.max_queue_depth,
+            max_total_depth=self.config.max_total_depth,
+            shed_watermark=self.config.shed_watermark,
             telemetry=self.telemetry,
         )
 
@@ -280,7 +296,9 @@ class ExplanationService:
         if blob is not None:
             return ClassifyResponse(model=model_name, logits=pickle.loads(blob), cached=True)
         work = _ClassifyWork(instance=series, cache_key=key)
-        future = self.batcher.submit(group_key_of(model_name, "classify"), work)
+        # Priority 1: under a global depth bound, classifies keep being
+        # admitted after explains have started shedding.
+        future = self.batcher.submit(group_key_of(model_name, "classify"), work, priority=1)
         return ClassifyResponse(model=model_name, logits=future.result())
 
     def explain(

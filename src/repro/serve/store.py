@@ -17,6 +17,15 @@ rebuild + weight load, subsequent requests reuse the live instance.  The
 state hash recorded at registration is verified on load, so a corrupted or
 hand-edited artifact fails loudly instead of serving wrong explanations — and
 the same hash is the model component of every explanation-cache key.
+
+With an optional *remote* byte store (:class:`repro.dist.RemoteByteStore`),
+registration also publishes the artifact fleet-wide — metadata under
+``serve-artifact:<name>``, weights content-addressed under
+``serve-weights:<state_hash>``, plus a ``serve-artifact-index`` name list —
+and a local miss fetches and materialises the artifact from the remote, so a
+model exported on one host is servable on every host.  Weights land on disk
+*before* ``artifact.json`` and the load-time state-hash check still runs, so
+a torn fetch is invisible and corrupt remote bytes fail loudly.
 """
 
 from __future__ import annotations
@@ -35,6 +44,10 @@ from ..nn.serialization import load_state_dict, save_state_dict, state_hash
 _WEIGHTS_FILE = "weights.npz"
 _ARTIFACT_FILE = "artifact.json"
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_REMOTE_ARTIFACT_PREFIX = "serve-artifact:"
+_REMOTE_WEIGHTS_PREFIX = "serve-weights:"
+_REMOTE_INDEX_KEY = "serve-artifact-index"
 
 
 @dataclass
@@ -82,8 +95,9 @@ class ModelArtifact:
 class ModelArtifactStore:
     """Directory-backed registry of trained models with a warm load cache."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, remote: Optional[Any] = None) -> None:
         self.directory = directory
+        self.remote = remote
         os.makedirs(directory, exist_ok=True)
         self._lock = threading.Lock()
         self._loaded: Dict[str, BaseClassifier] = {}
@@ -100,19 +114,29 @@ class ModelArtifactStore:
         return os.path.join(self.directory, name)
 
     def list_names(self) -> List[str]:
-        """Registered artifact names (sorted)."""
-        names = []
-        for name in sorted(os.listdir(self.directory)):
-            if os.path.isfile(os.path.join(self.directory, name, _ARTIFACT_FILE)):
-                names.append(name)
-        return names
+        """Registered artifact names (sorted): local ∪ remote index."""
+        names = {
+            name
+            for name in os.listdir(self.directory)
+            if os.path.isfile(os.path.join(self.directory, name, _ARTIFACT_FILE))
+        }
+        if self.remote is not None:
+            blob = self.remote.get(_REMOTE_INDEX_KEY)
+            if blob:
+                try:
+                    names.update(str(name) for name in json.loads(blob.decode("utf-8")))
+                except (ValueError, UnicodeDecodeError):
+                    pass  # a bad index never blocks local serving
+        return sorted(names)
 
     def __contains__(self, name: str) -> bool:
         try:
             path = self._artifact_dir(name)
         except ValueError:
             return False
-        return os.path.isfile(os.path.join(path, _ARTIFACT_FILE))
+        if os.path.isfile(os.path.join(path, _ARTIFACT_FILE)):
+            return True
+        return self.remote is not None and self.remote.contains(_REMOTE_ARTIFACT_PREFIX + name)
 
     # ------------------------------------------------------------------
     # Register / load
@@ -158,16 +182,68 @@ class ModelArtifactStore:
         with self._lock:
             self._loaded.pop(name, None)
             self._artifacts[name] = artifact
+        self._publish_remote(artifact)
         return artifact
 
+    def _publish_remote(self, artifact: ModelArtifact) -> None:
+        """Best-effort fleet publication (a down remote never fails a register)."""
+        if self.remote is None:
+            return
+        directory = self._artifact_dir(artifact.name)
+        with open(os.path.join(directory, _WEIGHTS_FILE), "rb") as handle:
+            weights = handle.read()
+        with open(os.path.join(directory, _ARTIFACT_FILE), "rb") as handle:
+            artifact_json = handle.read()
+        # Weights first: a peer that sees the artifact record must find them.
+        self.remote.put(_REMOTE_WEIGHTS_PREFIX + artifact.state_hash, weights)
+        self.remote.put(_REMOTE_ARTIFACT_PREFIX + artifact.name, artifact_json)
+        names = set(self.list_names())
+        names.add(artifact.name)
+        # Read-modify-write on the index is last-write-wins; list_names unions
+        # it with the local directory, so a lost update only hides a *remote*
+        # peer's name from listings — its artifact/weights blobs stay
+        # fetchable by name.
+        self.remote.put(
+            _REMOTE_INDEX_KEY, json.dumps(sorted(names)).encode("utf-8")
+        )
+
+    def _fetch_remote(self, name: str) -> bool:
+        """Materialise ``name`` from the remote store; True when it landed."""
+        if self.remote is None:
+            return False
+        artifact_blob = self.remote.get(_REMOTE_ARTIFACT_PREFIX + name)
+        if artifact_blob is None:
+            return False
+        try:
+            artifact = ModelArtifact.from_json(json.loads(artifact_blob.decode("utf-8")))
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return False
+        weights = self.remote.get(_REMOTE_WEIGHTS_PREFIX + artifact.state_hash)
+        if weights is None:
+            return False
+        directory = self._artifact_dir(name)
+        os.makedirs(directory, exist_ok=True)
+        # Weights before artifact.json: ``__contains__``/``list_names`` treat
+        # the JSON file as the commit record, so a fetch torn between the two
+        # writes leaves the artifact invisible rather than half-servable.
+        with open(os.path.join(directory, _WEIGHTS_FILE), "wb") as handle:
+            handle.write(weights)
+        with open(os.path.join(directory, _ARTIFACT_FILE), "wb") as handle:
+            handle.write(artifact_blob)
+        return True
+
     def artifact(self, name: str) -> ModelArtifact:
-        """The metadata record for ``name`` (cached after first read)."""
+        """The metadata record for ``name`` (cached after first read).
+
+        A local miss falls back to the remote store when one is configured,
+        materialising the artifact's files on this host first.
+        """
         with self._lock:
             cached = self._artifacts.get(name)
         if cached is not None:
             return cached
         path = os.path.join(self._artifact_dir(name), _ARTIFACT_FILE)
-        if not os.path.isfile(path):
+        if not os.path.isfile(path) and not self._fetch_remote(name):
             raise KeyError(
                 f"unknown model artifact {name!r}; registered: {self.list_names()}"
             )

@@ -1,0 +1,59 @@
+"""Work kinds used by the fleet tests — importable by subprocess workers.
+
+Workers started via ``python -m repro worker --provider fleet_provider``
+import this module by name, which registers the test kinds below as a side
+effect (the test process imports it too, so fingerprints agree on both
+sides).  Keep this module dependency-free beyond :mod:`repro` itself: it is
+imported inside bare worker processes that only have ``src`` and ``tests``
+on their path.
+"""
+
+import os
+
+from repro.runtime import register_work
+
+
+@register_work("_fleet_echo")
+def _fleet_echo(scale, *, value):
+    """Return ``value`` unchanged; the cheapest possible distributed unit."""
+    return value
+
+
+@register_work("_fleet_square")
+def _fleet_square(scale, *, value):
+    """Deterministic arithmetic so fleet-vs-serial identity is checkable."""
+    return value * value
+
+
+@register_work("_fleet_touch_count")
+def _fleet_touch_count(scale, *, value, counter_dir):
+    """Append one file per execution — counts *executions* across processes.
+
+    The warm-store dedupe tests assert on the number of files: a unit served
+    from the shared cache never runs this body, so it leaves no trace.
+    """
+    os.makedirs(counter_dir, exist_ok=True)
+    with open(os.path.join(counter_dir, f"{os.getpid()}-{value}-{os.urandom(4).hex()}"), "w"):
+        pass
+    return value
+
+
+@register_work("_fleet_fail")
+def _fleet_fail(scale, *, value):
+    """Always raise — exercises the fail/requeue/max-attempts path."""
+    raise RuntimeError(f"fleet unit {value} exploded")
+
+
+@register_work("_fleet_suicide")
+def _fleet_suicide(scale, *, value, marker):
+    """Kill the hosting worker process on the first attempt, succeed after.
+
+    The first worker to lease this unit writes ``marker`` and dies without
+    replying — exactly the silent mid-unit crash the lease-expiry path must
+    survive.  Any later attempt (the marker now exists) just returns.
+    """
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(1)
+    return value

@@ -132,6 +132,36 @@ class TestAdaptivePolicy:
             policy.observe(key, batch_size=8, flush_seconds=0.5, queue_depth=1000)
         assert policy.decision(key).max_batch_size < 8
 
+    def test_queue_time_over_budget_grows_despite_shallow_queue(self):
+        # Flushes are fast but requests sit in the queue far past the budget:
+        # the *end-to-end* latency signal must drive the batch size up so the
+        # backlog drains, even though the instantaneous queue looks shallow.
+        policy = self.make_policy(latency_budget_ms=10.0)
+        key = ("m", "explain")
+        for _ in range(3):
+            policy.observe(key, batch_size=2, flush_seconds=0.002, queue_depth=2,
+                           queue_seconds=0.050)
+        assert policy.decision(key).max_batch_size == 16
+
+    def test_shallow_queue_without_queue_time_does_not_grow(self):
+        # Control for the test above: the same observations minus the
+        # queueing time are an idle signal, not a grow signal.
+        policy = self.make_policy(latency_budget_ms=10.0)
+        key = ("m", "explain")
+        for _ in range(3):
+            policy.observe(key, batch_size=2, flush_seconds=0.002, queue_depth=2)
+        assert policy.decision(key).max_batch_size <= 8
+
+    def test_flush_over_budget_still_shrinks_despite_queue_pressure(self):
+        # When the flush itself blows the budget, growing would make latency
+        # worse — the shrink signal wins over any queueing pressure.
+        policy = self.make_policy(latency_budget_ms=10.0)
+        key = ("m", "explain")
+        for _ in range(6):
+            policy.observe(key, batch_size=8, flush_seconds=0.5, queue_depth=1000,
+                           queue_seconds=1.0)
+        assert policy.decision(key).max_batch_size < 8
+
     def test_groups_are_independent(self):
         policy = self.make_policy()
         hot, cold = ("m", "classify"), ("m", "explain")
@@ -215,7 +245,7 @@ class TestCostAwarePolicy:
 
         class RecordingPolicy(StaticBatchPolicy):
             def observe(self, group_key, batch_size, flush_seconds, queue_depth,
-                        batch_cost=None, queue_cost=None):
+                        batch_cost=None, queue_cost=None, queue_seconds=None):
                 observed.append((batch_size, batch_cost, queue_cost))
 
         with MicroBatcher(lambda key, requests: requests,
@@ -368,6 +398,101 @@ class TestAdmissionControl:
     def test_invalid_depth_rejected(self):
         with pytest.raises(ValueError, match="max_queue_depth"):
             MicroBatcher(lambda key, requests: requests, max_queue_depth=0)
+
+    def test_batcher_reports_queue_seconds_to_policy(self):
+        """The policy sees the batcher-visible wait of each flushed batch."""
+        observed = []
+
+        class RecordingPolicy(StaticBatchPolicy):
+            def observe(self, group_key, batch_size, flush_seconds, queue_depth,
+                        batch_cost=None, queue_cost=None, queue_seconds=None):
+                observed.append(queue_seconds)
+
+        with MicroBatcher(lambda key, requests: requests,
+                          policy=RecordingPolicy(max_batch_size=4, max_wait_ms=1.0)
+                          ) as batcher:
+            batcher.submit("g", 1).result(timeout=5)
+        assert observed
+        for queue_seconds in observed:
+            assert isinstance(queue_seconds, float)
+            assert queue_seconds >= 0.0
+
+
+class TestPriorityShedding:
+    """Under *global* pressure cheap traffic outlives expensive traffic.
+
+    ``/classify`` submits with ``priority=1`` and keeps admitting up to the
+    full ``max_total_depth``; ``/explain`` (priority 0) is shed earlier, at
+    the watermark — the regression pinned here is that a flood of expensive
+    explains can never starve the cheap classify path.
+    """
+
+    def test_low_priority_sheds_at_watermark_high_priority_admits(self):
+        release = threading.Event()
+
+        def execute(group_key, requests):
+            release.wait(timeout=10)
+            return requests
+
+        batcher = MicroBatcher(execute, max_batch_size=1, max_wait_ms=0,
+                               max_total_depth=4, shed_watermark=0.75)
+        try:
+            # Three explains fill the priority-0 share: int(4 * 0.75) == 3.
+            explains = [batcher.submit(("m", "explain"), value) for value in range(3)]
+            with pytest.raises(QueueFullError) as excinfo:
+                batcher.submit(("m", "explain"), 99)
+            assert excinfo.value.limit == 3
+            assert excinfo.value.retry_after_s > 0
+            # The cheap path still has headroom up to the full depth...
+            classify = batcher.submit(("m", "classify"), "c", priority=1)
+            # ...and only sheds when the batcher is truly full.
+            with pytest.raises(QueueFullError) as excinfo:
+                batcher.submit(("m", "classify"), "c2", priority=1)
+            assert excinfo.value.limit == 4
+            counters = batcher.telemetry.snapshot()
+            assert counters["requests_shed"] == 2
+            # Only the priority-0 shed counts as a priority shed.
+            assert counters["requests_shed_priority"] == 1
+            release.set()
+            assert [f.result(timeout=5) for f in explains] == [0, 1, 2]
+            assert classify.result(timeout=5) == "c"
+            # Drained: both classes admit again.
+            assert batcher.submit(("m", "explain"), 7).result(timeout=5) == 7
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_invalid_total_depth_and_watermark_rejected(self):
+        with pytest.raises(ValueError, match="max_total_depth"):
+            MicroBatcher(lambda key, requests: requests, max_total_depth=0)
+        with pytest.raises(ValueError, match="shed_watermark"):
+            MicroBatcher(lambda key, requests: requests, max_total_depth=4,
+                         shed_watermark=0.0)
+
+    def test_service_submits_classify_above_explain_priority(self, adaptive_store):
+        # The service-level half of the guarantee: /classify rides the
+        # high-priority lane, /explain the default one.  (The batcher-level
+        # test above pins what those lanes mean under pressure.)
+        service = make_service(adaptive_store, max_total_depth=64)
+        submitted = []
+        real_submit = service.batcher.submit
+
+        def recording_submit(group_key, request, cost=1.0, priority=0):
+            submitted.append((group_key[1], priority))
+            return real_submit(group_key, request, cost=cost, priority=priority)
+
+        service.batcher.submit = recording_submit
+        try:
+            rng = np.random.default_rng(0)
+            series = rng.normal(size=(4, 48)).tolist()
+            service.classify("ccnn-a", series)
+            service.explain("ccnn-a", series, k=4, seed=0)
+        finally:
+            service.batcher.submit = real_submit
+            service.close()
+        priorities = dict(submitted)
+        assert priorities["classify"] == 1
+        assert priorities["explain"] == 0
 
 
 # ---------------------------------------------------------------------------
