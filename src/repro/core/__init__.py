@@ -16,6 +16,7 @@ from .dcam import (
     explanation_quality_proxy,
     extract_dcam,
     merge_permutation_cams,
+    permutation_rows,
 )
 from .gradcam import grad_cam, mtex_explanation, mtex_grad_cam
 from .input_transform import (
@@ -24,6 +25,7 @@ from .input_transform import (
     idx,
     inverse_order,
     random_permutations,
+    roll_cube_batch,
     rotation_order,
     row_for_slot,
 )
@@ -31,6 +33,7 @@ from .input_transform import (
 __all__ = [
     "build_cube",
     "build_cube_batch",
+    "roll_cube_batch",
     "rotation_order",
     "row_for_slot",
     "idx",
@@ -46,6 +49,7 @@ __all__ = [
     "compute_dcam",
     "compute_dcam_batch",
     "merge_permutation_cams",
+    "permutation_rows",
     "extract_dcam",
     "explanation_quality_proxy",
     "max_activation_per_dimension",

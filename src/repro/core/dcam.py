@@ -43,6 +43,7 @@ __all__ = [
     "compute_dcam",
     "compute_dcam_batch",
     "merge_permutation_cams",
+    "permutation_rows",
     "extract_dcam",
     "explanation_quality_proxy",
 ]
@@ -212,6 +213,24 @@ def _m_transform(cam_rows: np.ndarray, order: np.ndarray) -> np.ndarray:
     return cam_rows[rows]  # (D, D, n)
 
 
+def permutation_rows(orders: np.ndarray) -> np.ndarray:
+    """``rows[p, d, q]`` = cube row holding dimension ``d`` at position ``q``.
+
+    The vectorised ``idx`` function of Definition 1 over a ``(k, D)``
+    permutation stack: gathering ``cams[p, rows[p]]`` materialises every
+    permutation's ``M`` transform at once.  Shared by the batched merge below
+    and by the streaming engine's per-column ``M̄`` delta updates
+    (:mod:`repro.stream`), which gather only the window columns a slide
+    touched.
+    """
+    k, n_dimensions = orders.shape
+    # slots[p, d] = position of original dimension d under permutation p.
+    slots = np.empty_like(orders)
+    slots[np.arange(k)[:, None], orders] = np.arange(n_dimensions)[None, :]
+    positions = np.arange(n_dimensions)
+    return (slots[:, :, None] - positions[None, None, :]) % n_dimensions  # (k, D, D)
+
+
 def _merge_cam_stack(cams: np.ndarray, orders: np.ndarray) -> np.ndarray:
     """Average the ``M`` transformations of stacked permutation CAMs.
 
@@ -221,12 +240,7 @@ def _merge_cam_stack(cams: np.ndarray, orders: np.ndarray) -> np.ndarray:
     ``(k, D, D, n)`` scratch array would exceed the soft memory cap).
     """
     k, n_dimensions, length = cams.shape
-    # slots[p, d] = position of original dimension d under permutation p.
-    slots = np.empty_like(orders)
-    slots[np.arange(k)[:, None], orders] = np.arange(n_dimensions)[None, :]
-    positions = np.arange(n_dimensions)
-    # rows[p, d, q] = cube row holding dimension d at position q (Definition 1).
-    rows = (slots[:, :, None] - positions[None, None, :]) % n_dimensions  # (k, D, D)
+    rows = permutation_rows(orders)  # (k, D, D)
     bytes_per_perm = n_dimensions * n_dimensions * length * cams.itemsize
     chunk = max(1, _MERGE_SCRATCH_BYTES // max(1, bytes_per_perm))
     if chunk >= k:

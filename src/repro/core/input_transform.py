@@ -82,6 +82,42 @@ def build_cube_batch(batch: np.ndarray, order: Optional[Sequence[int]] = None) -
     return batch[:, shifts, :]
 
 
+def roll_cube_batch(cubes: np.ndarray, new_columns: np.ndarray) -> np.ndarray:
+    """Slide a batch of cubes forward in time, rewriting only the new columns.
+
+    ``cubes`` is a ``(B, D, D, n)`` stack previously produced by
+    :func:`build_cube_batch`; ``new_columns`` is the ``(B, D, hop)`` block of
+    (already permuted) series columns that just entered the window.  Because
+    ``cube[row, pos, t]`` depends only on column ``t`` of the underlying
+    series, a window slide of ``hop`` timesteps shifts the cube's time axis
+    left by ``hop`` and rewrites exactly the trailing ``hop`` columns — the
+    other ``n - hop`` columns are reused bitwise.  This is the rolling
+    ``C(T)`` update of the streaming workload (:mod:`repro.stream`).
+
+    Mutates and returns ``cubes``.
+    """
+    cubes = np.asarray(cubes)
+    new_columns = np.asarray(new_columns)
+    if cubes.ndim != 4 or cubes.shape[1] != cubes.shape[2]:
+        raise ValueError(f"cubes must be (B, D, D, n), got shape {cubes.shape}")
+    if new_columns.ndim != 3:
+        raise ValueError(f"new_columns must be (B, D, hop), got shape {new_columns.shape}")
+    if new_columns.shape[:2] != cubes.shape[:2]:
+        raise ValueError(
+            f"new_columns batch/dimensions {new_columns.shape[:2]} do not match "
+            f"cubes {cubes.shape[:2]}"
+        )
+    length = cubes.shape[-1]
+    hop = new_columns.shape[-1]
+    if hop >= length:
+        cubes[...] = build_cube_batch(new_columns[..., -length:])
+        return cubes
+    # NumPy copies overlapping same-array slice assignments safely.
+    cubes[..., : length - hop] = cubes[..., hop:]
+    cubes[..., length - hop :] = build_cube_batch(new_columns)
+    return cubes
+
+
 def row_for_slot(slot: int, position: int, n_dimensions: int) -> int:
     """Row of the cube holding permuted slot ``slot`` at ``position``.
 

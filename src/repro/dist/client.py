@@ -68,6 +68,11 @@ class WireClient:
     """A pooled, retrying protocol client (shared by store and fleet ops)."""
 
     def __init__(self, config: RemoteStoreConfig, telemetry: Optional[Telemetry] = None) -> None:
+        """Create a client for ``config.address`` (no connection is dialed yet).
+
+        ``telemetry`` is the shared counter registry remote traffic is
+        reported into; a private one is created when omitted.
+        """
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._host, self._port = protocol.parse_address(config.address)
@@ -131,6 +136,7 @@ class WireClient:
         ) from last_error
 
     def close(self) -> None:
+        """Close every pooled connection; in-flight requests finish ad hoc."""
         with self._pool_lock:
             self._closed = True
             pool, self._pool = self._pool, []
@@ -163,6 +169,8 @@ class RemoteByteStore:
         config: Union[str, RemoteStoreConfig],
         telemetry: Optional[Telemetry] = None,
     ) -> None:
+        """Create a store client from an ``"host:port"`` string or a full
+        :class:`RemoteStoreConfig`; the first request dials the server."""
         if isinstance(config, str):
             config = RemoteStoreConfig(address=config)
         self.config = config
@@ -173,6 +181,7 @@ class RemoteByteStore:
     # ------------------------------------------------------------------
     @property
     def address(self) -> str:
+        """The configured ``host:port`` of the remote server."""
         return self.config.address
 
     @property
@@ -200,6 +209,7 @@ class RemoteByteStore:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[bytes]:
+        """The remote blob for ``key``, or ``None`` on miss *or* server-down."""
         response = self._request({"op": "get", "key": key})
         if response is None:
             return None
@@ -211,6 +221,8 @@ class RemoteByteStore:
         return None
 
     def put(self, key: str, blob: bytes) -> bool:
+        """Best-effort write-through; ``False`` means the write was dropped
+        (server down) — safe because callers keep their local copy."""
         response = self._request({"op": "put", "key": key}, blob)
         if response is None:
             return False
@@ -218,6 +230,7 @@ class RemoteByteStore:
         return True
 
     def contains(self, key: str) -> bool:
+        """True when the server is reachable *and* holds ``key``."""
         response = self._request({"op": "contains", "key": key})
         return bool(response is not None and response[0].get("found"))
 
@@ -232,6 +245,8 @@ class RemoteByteStore:
         return self._request({"op": "ping"}) is not None
 
     def close(self) -> None:
+        """Release the pooled connections (the store object stays usable —
+        a later request dials fresh)."""
         self._client.close()
 
     def __repr__(self) -> str:

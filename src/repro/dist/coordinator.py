@@ -80,6 +80,12 @@ class FleetCoordinator:
     """The queue itself: thread-safe lease/complete/fail/heartbeat state."""
 
     def __init__(self, config: FleetConfig, telemetry: Optional[Telemetry] = None) -> None:
+        """Create an empty queue governed by ``config``'s lease/retry knobs.
+
+        ``telemetry`` receives the ``fleet_*`` counters (submitted, leased,
+        completed, deduped, failed, expired); a private registry is created
+        when omitted.
+        """
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._lock = threading.Condition()
@@ -142,6 +148,13 @@ class FleetCoordinator:
             return unit_id, state, False
 
     def complete(self, unit_id: int, result_blob: bytes, from_cache: bool = False) -> None:
+        """Record a worker's result for ``unit_id`` and release its lease.
+
+        ``from_cache`` marks a unit the worker answered from the shared
+        result cache (counted as ``fleet_units_deduped``).  A late delivery
+        for a unit that already finished — e.g. a presumed-dead worker's
+        answer arriving after the expiry re-run completed — is ignored.
+        """
         with self._lock:
             state = self._units.get(unit_id)
             if state is None or state.done:
@@ -156,6 +169,12 @@ class FleetCoordinator:
             self._lock.notify_all()
 
     def fail(self, unit_id: int, error: str) -> None:
+        """Record a worker-reported failure of ``unit_id``.
+
+        The unit is re-queued for another attempt while its budget lasts;
+        once ``max_attempts`` is exhausted it is marked done with ``error``
+        set, which makes the waiting executor raise :class:`UnitFailedError`.
+        """
         with self._lock:
             state = self._units.get(unit_id)
             if state is None or state.done:
@@ -212,6 +231,12 @@ class FleetExecutor:
         config: Optional[FleetConfig] = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
+        """Start the embedded coordinator and its wire server immediately.
+
+        The bound address (``config.port`` 0 picks an ephemeral port) is
+        available as :attr:`address` right after construction — hand it to
+        ``python -m repro worker --connect``.
+        """
         self.config = config if config is not None else FleetConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.coordinator = FleetCoordinator(self.config, telemetry=self.telemetry)
@@ -262,10 +287,12 @@ class FleetExecutor:
     # ------------------------------------------------------------------
     @property
     def address(self) -> str:
+        """``host:port`` the coordinator's wire server is listening on."""
         return self.server.address
 
     @property
     def label(self) -> str:
+        """Human-readable executor label (shown by the CLI run banner)."""
         return f"fleet[{self.address}]"
 
     @staticmethod
@@ -296,6 +323,7 @@ class FleetExecutor:
             yield pickle.loads(state.result_blob)
 
     def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:
+        """Eager :meth:`imap`: all results in submission order."""
         return list(self.imap(fn, payloads))
 
     def close(self) -> None:

@@ -42,10 +42,13 @@ def import_providers(modules: Iterable[str]) -> None:
 
 
 def default_worker_id() -> str:
+    """The ``hostname-pid`` lease/heartbeat identity used when none is given."""
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
 class _Heartbeat(threading.Thread):
+    """Daemon thread renewing this worker's leases every ``interval_s``."""
+
     def __init__(self, client: WireClient, worker_id: str, interval_s: float) -> None:
         super().__init__(name=f"fleet-heartbeat-{worker_id}", daemon=True)
         self._client = client

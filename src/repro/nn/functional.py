@@ -279,7 +279,8 @@ def conv1d_input_grad(
     return np.squeeze(grad4, axis=2)
 
 
-def fused_conv_bn_relu(x_data: np.ndarray, conv, bn) -> np.ndarray:
+def fused_conv_bn_relu(x_data: np.ndarray, conv, bn,
+                       padding: Optional[Tuple[int, int]] = None) -> np.ndarray:
     """Inference-only fusion of ``Conv2d -> BatchNorm(eval) -> ReLU``.
 
     Folds the normalisation's per-channel scale into the conv kernels and its
@@ -287,6 +288,13 @@ def fused_conv_bn_relu(x_data: np.ndarray, conv, bn) -> np.ndarray:
     cheap passes instead of five full-size passes and three graph nodes.
     Numerically equivalent to the unfused layers up to a few ulps of
     floating-point reassociation.
+
+    ``padding`` overrides the conv module's zero padding.  The streaming
+    engine (:mod:`repro.stream`) recomputes only the window columns a slide
+    dirtied: it hands this kernel a pre-assembled input slab (interior slice
+    plus explicit boundary zeros) with ``padding=(0, 0)`` so interior slices
+    are not spuriously re-padded, reusing the exact fused arithmetic of the
+    full-width path.
     """
     kh, kw = conv.kernel_size
     out_channels = conv.out_channels
@@ -295,7 +303,9 @@ def fused_conv_bn_relu(x_data: np.ndarray, conv, bn) -> np.ndarray:
     if conv.bias is not None:
         shift = shift + conv.bias.data * scale
     weight = conv.weight.data * scale[:, None, None, None]
-    windows, _ = _conv_windows(x_data, (kh, kw), conv.stride, conv.padding)
+    if padding is None:
+        padding = conv.padding
+    windows, _ = _conv_windows(x_data, (kh, kw), conv.stride, padding)
     out = np.einsum("bcxyij,ocij->boxy", windows, weight,
                     optimize=_conv_einsum_path(windows, weight))
     out += shift.reshape(1, out_channels, 1, 1)

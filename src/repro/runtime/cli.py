@@ -8,6 +8,7 @@ Examples::
     python -m repro run table3 --models resnet,dcnn --dimensions 4 --epochs 5
     python -m repro export-model --model dcnn --scale tiny --store ./models
     python -m repro serve --store ./models --port 8080
+    python -m repro stream --store ./models --hop 8 --samples 256 --json-lines
     python -m repro byte-store-server --port 7070 --dir /srv/repro-store
     python -m repro run table3 --executor fleet --fleet-port 7075 --cache-dir .repro-cache
     python -m repro worker --connect 127.0.0.1:7075 --cache-dir .repro-cache
@@ -22,7 +23,9 @@ reuse trained-model results.
 ``export-model`` trains (or loads from the result cache) one classifier and
 registers it into a :class:`repro.serve.ModelArtifactStore`; ``serve`` answers
 classify/explain requests over HTTP from such a store (see
-:mod:`repro.serve`).
+:mod:`repro.serve`); ``stream`` replays a feed through a
+:class:`repro.stream.StreamSession`, emitting one classification +
+explanation per window hop (see :mod:`repro.stream` / docs/streaming.md).
 
 Distribution (see :mod:`repro.dist`): ``byte-store-server`` runs the shared
 remote cache tier every store can point at via ``--remote-store host:port``;
@@ -798,6 +801,176 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", required=True, metavar="DIR", help="model artifact store directory (see export-model)"
+    )
+    parser.add_argument(
+        "--model",
+        metavar="ARTIFACT",
+        help="artifact name to stream against (default: the store's only artifact)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="incremental",
+        choices=["incremental", "naive"],
+        help="incremental carries window/cube/feature state across hops; "
+        "naive recomputes every window (the parity oracle; default: incremental)",
+    )
+    parser.add_argument(
+        "--hop", type=int, default=1, metavar="N", help="emit one result every N new samples (default: 1)"
+    )
+    parser.add_argument(
+        "--k",
+        type=int,
+        metavar="K",
+        help="dCAM permutations per window (default: the artifact's default_k, else 20)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="dCAM permutation seed, fixed per session (default: 0)"
+    )
+    parser.add_argument(
+        "--explain",
+        default="auto",
+        choices=["auto", "none"],
+        help="auto explains with the model's family (dCAM/CAM); none classifies only (default: auto)",
+    )
+    parser.add_argument(
+        "--explain-class",
+        type=int,
+        metavar="C",
+        help="pin the explained class (default: each window's predicted class)",
+    )
+    parser.add_argument(
+        "--input",
+        metavar="FILE.npy",
+        help="stream a saved (D, T) float array instead of synthetic noise",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        metavar="T",
+        help="synthetic stream length in timesteps (default: 2x the model's window)",
+    )
+    parser.add_argument(
+        "--stream-seed", type=int, default=0, help="synthetic stream RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=16, metavar="M", help="push block size in timesteps (default: 16)"
+    )
+    parser.add_argument(
+        "--json-lines",
+        action="store_true",
+        help="print one JSON object per emission on stdout (heatmap summarised, not inlined)",
+    )
+    parser.add_argument(
+        "--heatmaps", metavar="FILE.npz", help="save every emitted heatmap into one .npz archive"
+    )
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from ..serve.store import ModelArtifactStore
+    from ..stream import StreamConfig, StreamSession
+
+    store = ModelArtifactStore(args.store)
+    names = store.list_names()
+    if not names:
+        print(
+            f"error: no model artifacts in {args.store!r}; register one with "
+            "`python -m repro export-model` first",
+            file=sys.stderr,
+        )
+        return 2
+    if args.model is None:
+        if len(names) > 1:
+            print(
+                f"error: store has {len(names)} artifacts ({', '.join(names)}); pick one with --model",
+                file=sys.stderr,
+            )
+            return 2
+        name = names[0]
+    elif args.model in names:
+        name = args.model
+    else:
+        print(
+            f"error: unknown artifact {args.model!r}; store has: {', '.join(names)}",
+            file=sys.stderr,
+        )
+        return 2
+    artifact = store.artifact(name)
+    model = store.load(name)
+    k = args.k if args.k is not None else int(artifact.metadata.get("default_k", 20))
+    config = StreamConfig(
+        hop=args.hop,
+        engine=args.engine,
+        explain=args.explain,
+        k=k,
+        seed=args.seed,
+        explain_class=args.explain_class,
+    )
+    session = StreamSession(model, config, state_hash=artifact.state_hash)
+
+    if args.input:
+        feed = np.load(args.input)
+        if feed.ndim != 2 or feed.shape[0] != model.n_dimensions:
+            print(
+                f"error: {args.input} has shape {feed.shape}, expected "
+                f"({model.n_dimensions}, T)",
+                file=sys.stderr,
+            )
+            return 2
+        feed = np.asarray(feed, dtype=np.float64)
+    else:
+        total = args.samples if args.samples is not None else 2 * model.length
+        rng = np.random.default_rng(args.stream_seed)
+        feed = rng.standard_normal((model.n_dimensions, total))
+
+    print(
+        f"[repro] streaming {feed.shape[1]} samples (D={model.n_dimensions}) through "
+        f"{name!r} [{session.engine} engine, window {session.window}, hop {config.hop}"
+        + (f", {session.family} x k={k}" if session.family == "dcam" else f", {session.family}")
+        + "]",
+        file=sys.stderr,
+    )
+    start = time.perf_counter()
+    results = []
+    for offset in range(0, feed.shape[1], args.chunk):
+        results.extend(session.push(feed[:, offset : offset + args.chunk]))
+    elapsed = time.perf_counter() - start
+    for result in results:
+        if args.json_lines:
+            record = {
+                "index": result.index,
+                "t_start": result.t_start,
+                "t_end": result.t_end,
+                "predicted": result.predicted,
+                "logits": [float(v) for v in result.logits],
+                "engine": result.engine,
+            }
+            if result.class_id is not None:
+                record["class_id"] = result.class_id
+                record["heatmap_shape"] = list(result.heatmap.shape)
+                record["heatmap_max"] = float(result.heatmap.max())
+            if result.success_ratio is not None:
+                record["success_ratio"] = result.success_ratio
+            print(json.dumps(record))
+    if args.heatmaps:
+        explained = {f"window_{r.index:05d}": r.heatmap for r in results if r.heatmap is not None}
+        np.savez(args.heatmaps, **explained)
+        print(f"[repro] {len(explained)} heatmap(s) written to {args.heatmaps}", file=sys.stderr)
+    stats = session.stats
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"[repro] {len(results)} emission(s) in {elapsed:.2f}s ({rate:.1f}/s) — "
+        f"cold starts {stats['cold_starts']}, incremental hops {stats['incremental_hops']}, "
+        f"cam rebuilds {stats['cam_rebuilds']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _add_byte_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     parser.add_argument(
@@ -945,6 +1118,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "micro-batching and a content-addressed explanation cache.",
     )
     _add_serve_arguments(serve_parser)
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="replay a feed through a streaming explanation session",
+        description="Push a (D, T) feed — synthetic noise or a saved .npy — "
+        "through a repro.stream.StreamSession, emitting one "
+        "classification + CAM/dCAM heatmap per window hop.",
+    )
+    _add_stream_arguments(stream_parser)
     byte_store_parser = subparsers.add_parser(
         "byte-store-server",
         help="serve the shared remote byte-store tier",
@@ -969,6 +1150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_export_model(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "byte-store-server":
         return _command_byte_store_server(args)
     if args.command == "worker":

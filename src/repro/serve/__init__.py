@@ -23,7 +23,7 @@ trained model into a store; ``python -m repro serve`` serves one.
 """
 
 from .batcher import MicroBatcher, QueueFullError
-from .cache import ExplanationCache, content_key, response_cache_key
+from .cache import ExplanationCache, content_key, response_cache_key, stream_window_key
 from .engine import ParityReport, probe_batch_parity, serve_logits
 from .http import ServiceHTTPServer, make_server, run_server, serve_in_background
 from .policy import (
@@ -46,6 +46,7 @@ __all__ = [
     "ExplanationCache",
     "content_key",
     "response_cache_key",
+    "stream_window_key",
     "MicroBatcher",
     "QueueFullError",
     "BatchPolicy",

@@ -86,6 +86,40 @@ def response_cache_key(
     )
 
 
+def stream_window_key(
+    model_hash: str,
+    window: np.ndarray,
+    family: str,
+    class_id: Optional[int],
+    k: Optional[int],
+    seed: Optional[int],
+) -> str:
+    """Key of one streaming emission: model state + exact window bytes.
+
+    The streaming layer (:mod:`repro.stream`) qualifies every cached
+    emission by the serving model-state hash (``:float32``-suffixed on the
+    single-precision tier, like :meth:`ExplanationService._serving_hash`)
+    and the full window content, so a replayed stream — or two hosts
+    watching the same feed — hits without recomputing.  ``class_id`` is the
+    *requested* class (``None`` when each window explains its own predicted
+    class, which is itself a function of the window bytes); ``k``/``seed``
+    pin the dCAM permutation draw and are ``None`` for the CAM families.
+
+    The key is deliberately engine-agnostic: the incremental and naive
+    engines agree within documented tolerances (docs/streaming.md), and
+    whichever computes a window first populates the entry both serve.
+    """
+    return content_key(
+        "stream-window",
+        family,
+        model_hash,
+        np.ascontiguousarray(window, dtype=np.float64),
+        "-" if class_id is None else int(class_id),
+        "-" if k is None else int(k),
+        "-" if seed is None else int(seed),
+    )
+
+
 class ExplanationCache:
     """Two-tier (memory + optional disk) content-addressed byte store.
 
