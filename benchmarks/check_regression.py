@@ -15,7 +15,7 @@ recognised while recursively walking each record:
 * **absolute throughput** — keys ending in ``per_second``.  These depend on
   the host the baseline was recorded on, so they gate loosely — but no
   looser than needed: fail when more than ``--absolute-tolerance`` (default
-  35%) below the baseline.  (The bound started at 45% while the baselines
+  30%) below the baseline.  (The bound started at 45% while the baselines
   were young; it tightens as they are re-recorded on the CI host class.)
 
 Results without a committed baseline (or without any recognised metric, e.g.
@@ -135,8 +135,8 @@ def main(argv=None):
     parser.add_argument(
         "--absolute-tolerance",
         type=float,
-        default=0.35,
-        help="allowed fractional drop for machine-dependent absolute throughput (default: 0.35)",
+        default=0.30,
+        help="allowed fractional drop for machine-dependent absolute throughput (default: 0.30)",
     )
     parser.add_argument(
         "--min-ratio-baseline",

@@ -12,7 +12,13 @@ Two halves, one wire protocol (:mod:`repro.dist.protocol`):
   handling and cache-fingerprint dedupe.
 """
 
-from .client import RemoteByteStore, RemoteStoreConfig, RemoteUnavailableError, WireClient
+from .client import (
+    RemoteByteStore,
+    RemoteRefusedError,
+    RemoteStoreConfig,
+    RemoteUnavailableError,
+    WireClient,
+)
 from .coordinator import FleetConfig, FleetCoordinator, FleetExecutor, UnitFailedError
 from .protocol import ConnectionClosed, ProtocolError, format_address, parse_address
 from .server import ByteStoreServer, WireServer
@@ -26,6 +32,7 @@ __all__ = [
     "FleetExecutor",
     "ProtocolError",
     "RemoteByteStore",
+    "RemoteRefusedError",
     "RemoteStoreConfig",
     "RemoteUnavailableError",
     "UnitFailedError",

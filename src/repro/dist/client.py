@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..obs.tracing import span, trace_wire_header
 from ..telemetry import Telemetry
 from . import protocol
 
@@ -62,6 +63,18 @@ class RemoteStoreConfig:
 
 class RemoteUnavailableError(ConnectionError):
     """Every attempt at one request failed; the remote is treated as down."""
+
+
+class RemoteRefusedError(RemoteUnavailableError):
+    """The server answered but *refused* the operation (``ok: false``).
+
+    A refusal proves the server is alive — transport-level ``except
+    RemoteUnavailableError`` handlers still catch it (it subclasses the
+    transport error, preserving historical behaviour), but callers that need
+    the distinction (e.g. probing an old server for an op it does not know,
+    like ``index-update``) can catch this first and fall back without
+    marking a healthy server down.
+    """
 
 
 class WireClient:
@@ -105,7 +118,23 @@ class WireClient:
     def request(
         self, header: Dict[str, Any], payload: bytes = b""
     ) -> Tuple[Dict[str, Any], bytes]:
-        """One round-trip with bounded retries; raises :class:`RemoteUnavailableError`."""
+        """One round-trip with bounded retries; raises :class:`RemoteUnavailableError`.
+
+        When the calling thread carries an active trace context, it rides
+        along under the frame header's ``"trace"`` key (opaque to old
+        servers) and the round-trip records a client-side ``wire.<op>``
+        span — observability never changes the op's payload bytes.
+        """
+        trace = trace_wire_header()
+        if trace is not None:
+            header = dict(header)
+            header.setdefault("trace", trace)
+        with span(f"wire.{header.get('op')}", address=self.config.address):
+            return self._request_attempts(header, payload)
+
+    def _request_attempts(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
         last_error: Optional[Exception] = None
         for attempt in range(self.config.retries + 1):
             if attempt:
@@ -125,7 +154,7 @@ class WireClient:
             if not response.get("ok", False):
                 # The server answered but refused the operation — that is an
                 # application error, not a transport failure: no retry.
-                raise RemoteUnavailableError(
+                raise RemoteRefusedError(
                     f"server at {self.config.address} rejected "
                     f"{header.get('op')!r}: {response.get('error', 'unknown error')}"
                 )
@@ -177,6 +206,10 @@ class RemoteByteStore:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._client = WireClient(config, telemetry=self.telemetry)
         self._down_until = 0.0
+        # None until probed: does the server know the "index-update" op?
+        # (Old servers answer a refusal, remembered here so every later
+        # publish skips straight to the read-modify-write fallback.)
+        self._index_update_supported: Optional[bool] = None
 
     # ------------------------------------------------------------------
     @property
@@ -233,6 +266,37 @@ class RemoteByteStore:
         """True when the server is reachable *and* holds ``key``."""
         response = self._request({"op": "contains", "key": key})
         return bool(response is not None and response[0].get("found"))
+
+    def index_update(self, key: str, add) -> Optional[List[str]]:
+        """Atomically union ``add`` names into the JSON list stored at ``key``.
+
+        The merge happens server-side under one lock (the ``index-update``
+        op), so two hosts registering concurrently can no longer overwrite
+        each other's names with stale read-modify-write puts.  Returns the
+        merged, sorted name list — or ``None`` when the server is down *or*
+        too old to know the op (a refusal from a live server is remembered
+        and does **not** start a down-cooldown); callers fall back to the
+        legacy client-side read-modify-write put.
+        """
+        if self._index_update_supported is False:
+            return None
+        if not self.available:
+            self.telemetry.increment("remote_down_skips")
+            return None
+        try:
+            with self.telemetry.timer("remote_request"):
+                header, _ = self._client.request(
+                    {"op": "index-update", "key": key, "add": sorted(str(name) for name in add)}
+                )
+        except RemoteRefusedError:
+            self._index_update_supported = False
+            return None
+        except RemoteUnavailableError:
+            self._mark_down()
+            return None
+        self._index_update_supported = True
+        self.telemetry.increment("remote_index_updates")
+        return [str(name) for name in header.get("names", ())]
 
     def stats(self) -> Optional[Dict[str, Any]]:
         """The server's store statistics, or ``None`` when unreachable."""

@@ -34,6 +34,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs.exposition import spans_to_json
+from ..obs.metrics import Histogram
+from ..obs.tracing import Span, SpanRing, TraceContext, current
 from ..runtime.spec import WorkUnit, unit_fingerprint
 from ..telemetry import Telemetry
 from .server import WireServer
@@ -74,6 +77,13 @@ class _UnitState:
     from_cache: bool = False
     error: Optional[str] = None
     done: bool = False
+    #: Monotonic clock at the latest lease; feeds the ``fleet_unit``
+    #: lease-to-complete latency histogram on completion.
+    leased_at: Optional[float] = None
+    #: Trace context captured at submit time (the executor's calling
+    #: thread); carried to the worker in the lease header and used to
+    #: parent a ``fleet.unit`` span when the result lands.
+    trace: Optional[TraceContext] = None
 
 
 class FleetCoordinator:
@@ -95,6 +105,12 @@ class FleetCoordinator:
         self._next_id = 0
         self._draining = False
         self.workers_seen: set = set()
+        # Fleet-wide observability aggregated from worker heartbeats: spans
+        # drained out of worker rings land here, and each worker's latest
+        # cumulative metric/histogram snapshot is kept whole (latest-wins —
+        # merging cumulative snapshots per beat would double-count).
+        self.span_ring = SpanRing(2048)
+        self._worker_reports: Dict[str, Dict[str, Any]] = {}
 
     # -- executor side -------------------------------------------------
     def submit(self, blob: bytes, fingerprint: Optional[str] = None) -> int:
@@ -102,7 +118,7 @@ class FleetCoordinator:
         with self._lock:
             unit_id = self._next_id
             self._next_id += 1
-            self._units[unit_id] = _UnitState(blob=blob, fingerprint=fingerprint)
+            self._units[unit_id] = _UnitState(blob=blob, fingerprint=fingerprint, trace=current())
             self._pending.append(unit_id)
             self.telemetry.increment("fleet_units_submitted")
             self._lock.notify_all()
@@ -143,6 +159,7 @@ class FleetCoordinator:
             unit_id = self._pending.popleft()
             state = self._units[unit_id]
             state.attempts += 1
+            state.leased_at = time.monotonic()
             self._leases[unit_id] = (worker, time.monotonic() + self.config.lease_timeout_s)
             self.telemetry.increment("fleet_units_leased")
             return unit_id, state, False
@@ -166,7 +183,24 @@ class FleetCoordinator:
             self.telemetry.increment("fleet_units_completed")
             if from_cache:
                 self.telemetry.increment("fleet_units_deduped")
+            if state.leased_at is not None:
+                lease_to_complete = max(0.0, time.monotonic() - state.leased_at)
+            else:
+                lease_to_complete = None
+            trace = state.trace
             self._lock.notify_all()
+        # Record observability outside the queue lock: nothing below touches
+        # queue state, and result bytes are already delivered unchanged.
+        if lease_to_complete is not None:
+            self.telemetry.timer("fleet_unit").add(lease_to_complete)
+            if trace is not None:
+                trace.tracer.record(
+                    trace,
+                    "fleet.unit",
+                    time.time() - lease_to_complete,
+                    lease_to_complete,
+                    attrs={"unit": unit_id, "cached": from_cache},
+                )
 
     def fail(self, unit_id: int, error: str) -> None:
         """Record a worker-reported failure of ``unit_id``.
@@ -198,6 +232,61 @@ class FleetCoordinator:
                     self._leases[unit_id] = (owner, deadline)
                     held += 1
             return held
+
+    # -- fleet-wide observability --------------------------------------
+    def ingest_report(self, worker: str, report: Dict[str, Any]) -> None:
+        """Fold a worker's heartbeat-carried observability into the aggregate.
+
+        ``report`` may carry ``spans`` (drained from the worker's ring —
+        appended to the coordinator-side ring) and ``metrics`` /
+        ``histograms`` (the worker's *cumulative* registry snapshots — kept
+        whole per worker, latest-wins, because folding cumulative counters
+        on every beat would double-count).  Old workers send none of these
+        keys; unknown keys are simply absent.
+        """
+        spans = report.get("spans")
+        if isinstance(spans, list):
+            for payload in spans:
+                try:
+                    self.span_ring.record(Span.from_dict(payload))
+                except (KeyError, TypeError, ValueError):
+                    continue  # a malformed span is dropped, never fatal
+        metrics = report.get("metrics")
+        histograms = report.get("histograms")
+        if isinstance(metrics, dict) or isinstance(histograms, dict):
+            with self._lock:
+                self._worker_reports[worker] = {
+                    "metrics": dict(metrics) if isinstance(metrics, dict) else {},
+                    "histograms": dict(histograms) if isinstance(histograms, dict) else {},
+                }
+
+    def fleet_metrics(self) -> Dict[str, Any]:
+        """Fleet-wide view: summed worker counters + merged histograms.
+
+        Built fresh from each worker's latest cumulative snapshot, so the
+        result is consistent however often workers heartbeat.  Returns
+        ``{"workers": [...], "metrics": {...}, "histograms": {name:
+        summary}}``.
+        """
+        with self._lock:
+            reports = {worker: report for worker, report in self._worker_reports.items()}
+        summed: Dict[str, float] = {}
+        merged: Dict[str, Histogram] = {}
+        for report in reports.values():
+            for name, value in report["metrics"].items():
+                if isinstance(value, (int, float)):
+                    summed[name] = summed.get(name, 0) + value
+            for name, payload in report["histograms"].items():
+                if isinstance(payload, dict):
+                    histogram = merged.get(name)
+                    if histogram is None:
+                        histogram = merged[name] = Histogram(name)
+                    histogram.merge_dict(payload)
+        return {
+            "workers": sorted(reports),
+            "metrics": summed,
+            "histograms": {name: histogram.summary() for name, histogram in merged.items()},
+        }
 
     # ------------------------------------------------------------------
     def _expire_leases_locked(self) -> None:
@@ -241,7 +330,10 @@ class FleetExecutor:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.coordinator = FleetCoordinator(self.config, telemetry=self.telemetry)
         self.server = WireServer(
-            host=self.config.host, port=self.config.port, telemetry=self.telemetry
+            host=self.config.host,
+            port=self.config.port,
+            telemetry=self.telemetry,
+            process_label="fleet-coordinator",
         )
         self._register_ops()
         self.server.start()
@@ -255,17 +347,25 @@ class FleetExecutor:
             unit_id, state, shutdown = coordinator.lease(worker)
             if unit_id is None:
                 return {"ok": True, "unit": None, "shutdown": shutdown}, b""
-            return (
-                {
-                    "ok": True,
-                    "unit": unit_id,
-                    "fingerprint": state.fingerprint,
-                    "attempt": state.attempts,
-                },
-                state.blob,
-            )
+            response = {
+                "ok": True,
+                "unit": unit_id,
+                "fingerprint": state.fingerprint,
+                "attempt": state.attempts,
+            }
+            if state.trace is not None:
+                # Hand the submitter's trace context to the worker so its
+                # unit-execution spans join the same trace (old workers
+                # ignore the key).
+                response["trace"] = state.trace.wire()
+            return response, state.blob
 
         def handle_complete(header: Dict[str, Any], payload: bytes):
+            worker = str(header.get("worker", "?"))
+            # Ingest before completing: complete() wakes the submitter, so
+            # the spans riding this frame must already be in the ring when
+            # it resumes and inspects the trace.
+            coordinator.ingest_report(worker, header)
             coordinator.complete(
                 int(header["unit"]), payload, from_cache=bool(header.get("cached"))
             )
@@ -276,13 +376,23 @@ class FleetExecutor:
             return {"ok": True}, b""
 
         def handle_heartbeat(header: Dict[str, Any], payload: bytes):
-            held = coordinator.heartbeat(str(header.get("worker", "?")))
+            worker = str(header.get("worker", "?"))
+            held = coordinator.heartbeat(worker)
+            coordinator.ingest_report(worker, header)
             return {"ok": True, "held": held}, b""
+
+        def handle_trace_dump(header: Dict[str, Any], payload: bytes):
+            # The coordinator's dump covers both its own server-side spans
+            # and the worker spans aggregated from heartbeats.
+            spans = spans_to_json(self.server.tracer.ring.spans())
+            spans.extend(spans_to_json(coordinator.span_ring.spans()))
+            return {"ok": True, "spans": spans}, b""
 
         self.server.register("fleet-lease", handle_lease)
         self.server.register("fleet-complete", handle_complete)
         self.server.register("fleet-fail", handle_fail)
         self.server.register("fleet-heartbeat", handle_heartbeat)
+        self.server.register("trace-dump", handle_trace_dump)
 
     # ------------------------------------------------------------------
     @property
@@ -325,6 +435,14 @@ class FleetExecutor:
     def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:
         """Eager :meth:`imap`: all results in submission order."""
         return list(self.imap(fn, payloads))
+
+    def fleet_metrics(self) -> Dict[str, Any]:
+        """Fleet-wide worker counters/histograms (see coordinator docs)."""
+        return self.coordinator.fleet_metrics()
+
+    def trace_spans(self) -> List[Span]:
+        """Worker spans aggregated from heartbeats, oldest first."""
+        return self.coordinator.span_ring.spans()
 
     def close(self) -> None:
         """Signal workers to shut down and stop the wire server."""

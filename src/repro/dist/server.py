@@ -9,7 +9,7 @@ response_payload)`` registered per ``op``; a handler exception is answered as
 single bad request never takes a worker's connection with it.
 
 :class:`ByteStoreServer` registers the byte-store operations (``ping`` /
-``get`` / ``put`` / ``contains`` / ``stats``) over a
+``get`` / ``put`` / ``contains`` / ``stats`` / ``index-update``) over a
 :class:`~repro.runtime.eviction.TieredByteStore`, which gives the shared
 remote tier the same LRU memory/disk bounds and torn-file-safe persistence as
 every local cache.  Start it from the CLI::
@@ -22,11 +22,15 @@ interfaces reachable only by trusted hosts.
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..obs.exposition import spans_to_json
+from ..obs.tracing import Tracer
 from ..runtime.eviction import TieredByteStore
 from ..telemetry import Telemetry
 from . import protocol
@@ -95,12 +99,20 @@ class WireServer:
         host: str = "127.0.0.1",
         port: int = 0,
         telemetry: Optional[Telemetry] = None,
+        process_label: str = "wire-server",
+        trace_ring_size: int = 2048,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # Server-side spans only ever *adopt* contexts carried in frame
+        # headers (the sampling decision was made at the requesting edge),
+        # so the tracer's own sample rate stays 0.
+        self.tracer = Tracer(sample_rate=0.0, ring_size=trace_ring_size, process=process_label)
         self._handlers: Dict[str, Handler] = {}
         self._server = _InnerServer((host, port), self)
         self._thread: Optional[threading.Thread] = None
         self.register("ping", lambda header, payload: ({"ok": True}, b""))
+        self.register("trace-dump", self._handle_trace_dump)
+        self.register("metrics", self._handle_metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -124,11 +136,34 @@ class WireServer:
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}, b""
         self.telemetry.increment(f"server_op_{op}")
+        # Adopt a trace context riding the frame header (one dict lookup for
+        # the untraced hot path); the server-side span parents to the
+        # client's in-flight wire span.
+        trace = self.tracer.adopt(header.get("trace"))
+        started = time.perf_counter() if trace is not None else 0.0
+        wall_started = time.time() if trace is not None else 0.0
         try:
             return handler(header, payload)
         except Exception as error:  # answer, don't tear down the connection
             self.telemetry.increment("server_handler_errors")
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}, b""
+        finally:
+            if trace is not None:
+                self.tracer.record(
+                    trace, f"server.{op}", wall_started, time.perf_counter() - started
+                )
+
+    def _handle_trace_dump(self, header: Dict[str, Any], payload: bytes) -> Tuple[Dict[str, Any], bytes]:
+        """Export the server-side span ring (``python -m repro trace-dump --connect``)."""
+        return {"ok": True, "spans": spans_to_json(self.tracer.ring.spans())}, b""
+
+    def _handle_metrics(self, header: Dict[str, Any], payload: bytes) -> Tuple[Dict[str, Any], bytes]:
+        """The server process's registry snapshot + histogram summaries."""
+        return {
+            "ok": True,
+            "metrics": self.telemetry.snapshot(),
+            "histograms": self.telemetry.histogram_summaries(),
+        }, b""
 
     # ------------------------------------------------------------------
     def start(self) -> "WireServer":
@@ -181,15 +216,20 @@ class ByteStoreServer:
             max_memory_bytes=max_memory_bytes,
             max_disk_bytes=max_disk_bytes,
         )
-        self.wire = WireServer(host=host, port=port, telemetry=telemetry)
+        self.wire = WireServer(host=host, port=port, telemetry=telemetry, process_label="byte-store")
         self.wire.register("get", self._handle_get)
         self.wire.register("put", self._handle_put)
         self.wire.register("contains", self._handle_contains)
         self.wire.register("stats", self._handle_stats)
+        self.wire.register("index-update", self._handle_index_update)
         self._served_hits = 0
         self._served_misses = 0
         self._served_puts = 0
         self._stats_lock = threading.Lock()
+        # index-update is the one op that genuinely read-modify-writes a
+        # shared key; everything else stays lock-free (content-addressed
+        # last-write-wins — see the class docstring).
+        self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -220,6 +260,35 @@ class ByteStoreServer:
         self, header: Dict[str, Any], payload: bytes
     ) -> Tuple[Dict[str, Any], bytes]:
         return {"ok": True, "found": self._key(header) in self.store}, b""
+
+    def _handle_index_update(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """Atomic server-side union into the JSON name list stored at ``key``.
+
+        Closes the artifact-store race: two hosts registering concurrently
+        used to read-modify-write the index from the client side, so the
+        slower writer could erase the faster one's name until its next
+        publish.  The server merges under one lock instead; a corrupt or
+        missing index is rebuilt from the submitted names.
+        """
+        key = self._key(header)
+        add = header.get("add")
+        if not isinstance(add, list) or not all(isinstance(name, str) for name in add):
+            raise ValueError("index-update requires 'add': a list of name strings")
+        with self._index_lock:
+            blob = self.store.get(key)
+            names = set()
+            if blob is not None:
+                try:
+                    decoded = json.loads(blob.decode("utf-8"))
+                    names = {str(name) for name in decoded} if isinstance(decoded, list) else set()
+                except (ValueError, UnicodeDecodeError):
+                    names = set()
+            names.update(add)
+            merged = sorted(names)
+            self.store.put(key, json.dumps(merged).encode("utf-8"))
+        return {"ok": True, "names": merged}, b""
 
     def _handle_stats(self, header: Dict[str, Any], payload: bytes) -> Tuple[Dict[str, Any], bytes]:
         with self._stats_lock:

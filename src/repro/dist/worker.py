@@ -30,6 +30,7 @@ import time
 import traceback
 from typing import Iterable, Optional
 
+from ..obs.tracing import Tracer, activate, span
 from ..runtime.cache import ResultCache
 from ..telemetry import Telemetry
 from .client import RemoteStoreConfig, RemoteUnavailableError, WireClient
@@ -47,19 +48,43 @@ def default_worker_id() -> str:
 
 
 class _Heartbeat(threading.Thread):
-    """Daemon thread renewing this worker's leases every ``interval_s``."""
+    """Daemon thread renewing this worker's leases every ``interval_s``.
 
-    def __init__(self, client: WireClient, worker_id: str, interval_s: float) -> None:
+    Each beat doubles as the worker's observability uplink: spans drained
+    from the worker's ring plus its cumulative metric/histogram snapshots
+    ride the heartbeat header (old coordinators ignore the extra keys), so
+    the coordinator aggregates fleet-wide latency without any extra op.
+    """
+
+    def __init__(
+        self,
+        client: WireClient,
+        worker_id: str,
+        interval_s: float,
+        telemetry: Optional[Telemetry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         super().__init__(name=f"fleet-heartbeat-{worker_id}", daemon=True)
         self._client = client
         self._worker_id = worker_id
         self._interval_s = interval_s
+        self._telemetry = telemetry
+        self._tracer = tracer
         self._stop = threading.Event()
+
+    def _report_header(self) -> dict:
+        header = {"op": "fleet-heartbeat", "worker": self._worker_id}
+        if self._tracer is not None and len(self._tracer.ring):
+            header["spans"] = [s.to_dict() for s in self._tracer.ring.drain(256)]
+        if self._telemetry is not None:
+            header["metrics"] = self._telemetry.snapshot()
+            header["histograms"] = self._telemetry.histogram_dump()
+        return header
 
     def run(self) -> None:
         while not self._stop.wait(self._interval_s):
             try:
-                self._client.request({"op": "fleet-heartbeat", "worker": self._worker_id})
+                self._client.request(self._report_header())
             except RemoteUnavailableError:
                 return  # coordinator gone; the main loop notices on its next op
 
@@ -77,6 +102,7 @@ def run_worker(
     max_idle_s: Optional[float] = None,
     max_units: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> int:
     """Lease-execute-report until the coordinator drains; returns units done.
 
@@ -101,17 +127,24 @@ def run_worker(
         the coordinator to drain or disappear).
     max_units:
         Exit after completing this many units (test/bench hook).
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer` recording this worker's
+        spans (a private one is created when omitted).  Units whose lease
+        header carries a trace context execute under it, and finished spans
+        ship to the coordinator in heartbeat/complete headers.
     """
     import_providers(providers)
     telemetry = telemetry if telemetry is not None else Telemetry()
     worker_id = worker_id or default_worker_id()
+    if tracer is None:
+        tracer = Tracer(sample_rate=0.0, process=f"worker:{worker_id}")
     # A worker's lease poll must out-survive transient coordinator pauses but
     # fail fast when it is truly gone; modest timeouts + retries do both.
     client = WireClient(
         RemoteStoreConfig(address=connect, connect_timeout_s=2.0, retries=2),
         telemetry=telemetry,
     )
-    heartbeat = _Heartbeat(client, worker_id, heartbeat_interval_s)
+    heartbeat = _Heartbeat(client, worker_id, heartbeat_interval_s, telemetry=telemetry, tracer=tracer)
     heartbeat.start()
     completed = 0
     idle_since: Optional[float] = None
@@ -133,8 +166,15 @@ def run_worker(
             idle_since = None
             unit_id = int(header["unit"])
             fingerprint = header.get("fingerprint")
+            # Execute under the trace context that rode the lease header (if
+            # any): the unit's span joins the submitter's trace.  The result
+            # bytes are untouched either way.
+            trace = tracer.adopt(header.get("trace"))
             try:
-                result_blob, from_cache = _evaluate(blob, fingerprint, cache)
+                with telemetry.timer("worker_unit"):
+                    with activate(trace):
+                        with span("worker.unit", unit=unit_id):
+                            result_blob, from_cache = _evaluate(blob, fingerprint, cache)
             except Exception:
                 telemetry.increment("worker_units_failed")
                 try:
@@ -149,16 +189,18 @@ def run_worker(
                 except RemoteUnavailableError:
                     break
                 continue
+            complete_header = {
+                "op": "fleet-complete",
+                "worker": worker_id,
+                "unit": unit_id,
+                "cached": from_cache,
+            }
+            if len(tracer.ring):
+                # Ship finished spans with the result instead of waiting for
+                # the next heartbeat — short-lived workers still report.
+                complete_header["spans"] = [s.to_dict() for s in tracer.ring.drain(256)]
             try:
-                client.request(
-                    {
-                        "op": "fleet-complete",
-                        "worker": worker_id,
-                        "unit": unit_id,
-                        "cached": from_cache,
-                    },
-                    result_blob,
-                )
+                client.request(complete_header, result_blob)
             except RemoteUnavailableError:
                 break
             completed += 1

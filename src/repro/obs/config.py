@@ -1,0 +1,34 @@
+"""Observability configuration shared by the serving layer and CLI verbs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ObsConfig:
+    """Tracing/exposition knobs; metrics and histograms are always on.
+
+    Counters, timers and latency histograms are recorded unconditionally
+    (their cost is a lock and an integer — gated by
+    ``benchmarks/bench_obs_overhead.py``); this config only controls the
+    *sampled tracing* tier and span retention.
+    """
+
+    #: Fraction of root requests that record a trace, in ``[0, 1]``.
+    #: ``0.0`` (the default) disables tracing entirely: no ids are
+    #: allocated and the per-hop check is one context-variable read.
+    trace_sample_rate: float = 0.0
+    #: Bounded capacity of the in-process finished-span ring; the oldest
+    #: span is dropped when a new one lands in a full ring.
+    trace_ring_size: int = 2048
+    #: Process label stamped on every span this process records (for
+    #: example ``serve``, ``byte-store``, ``worker:<id>``), so merged
+    #: multi-process trace dumps stay unambiguous.
+    process_label: str = "serve"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate!r}")
+        if self.trace_ring_size < 1:
+            raise ValueError(f"trace_ring_size must be >= 1, got {self.trace_ring_size!r}")

@@ -1,0 +1,269 @@
+"""Prometheus text exposition, span JSON dumps, and the sidecar HTTP server.
+
+The serve ``/metrics`` endpoint keeps its JSON snapshot as the default
+response; a client sending ``Accept: text/plain`` gets the same registry in
+Prometheus text exposition format instead (content negotiation, no new
+endpoint).  :class:`MetricsHTTPServer` gives non-serve processes — the
+byte-store server and fleet workers — the same two endpoints
+(``/metrics`` + ``/trace``) on a sidecar port.
+
+Rendering conventions (kept deliberately mechanical so the golden test can
+parse and re-serialize the output):
+
+* every family is prefixed ``repro_``; metric names are sanitized to
+  ``[a-zA-Z0-9_:]``;
+* the registry's bracket convention ``name[model/kind]`` becomes labels
+  ``{kind="...",model="..."}``; a single bracket part becomes
+  ``{label="..."}``;
+* counters render as ``_total``, gauges render bare, and every timer
+  renders through its attached histogram as a ``_seconds`` histogram family
+  (``_bucket{le=...}`` cumulative lines for non-empty buckets plus
+  ``+Inf``, then ``_sum``/``_count``) — totals and percentiles come from
+  one data structure, so they cannot disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import Telemetry
+from .tracing import Span, SpanRing, Tracer
+
+__all__ = [
+    "MetricsHTTPServer",
+    "parse_prometheus",
+    "prometheus_requested",
+    "render_prometheus",
+    "spans_to_json",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_BRACKET = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<label>[^\[\]]*)\]$")
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _split_labels(name: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """``"queue_depth[m/k]"`` → ``("queue_depth", (("kind","k"),("model","m")))``."""
+    match = _BRACKET.match(name)
+    if match is None:
+        return name, ()
+    parts = match.group("label").split("/")
+    if len(parts) == 2:
+        return match.group("base"), (("kind", parts[1]), ("model", parts[0]))
+    return match.group("base"), (("label", match.group("label")),)
+
+
+def _sanitize(name: str) -> str:
+    return _INVALID_NAME_CHARS.sub("_", name)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: Iterable[Tuple[str, str]]) -> str:
+    items = sorted(labels)
+    if not items:
+        return ""
+    rendered = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in items)
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    return format(bound, ".6g")
+
+
+def render_prometheus(telemetry: Telemetry, namespace: str = "repro") -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    Output is deterministic: families sort by name, series by label set.
+    """
+    lines: List[str] = []
+
+    counters: Dict[str, List[Tuple[str, float]]] = {}
+    gauges: Dict[str, List[Tuple[str, float]]] = {}
+    with telemetry._lock:
+        counter_items = [(c.name, c.value) for c in telemetry._counters.values()]
+        gauge_items = [(g.name, g.value) for g in telemetry._gauges.values()]
+        histograms = list(telemetry._histograms.values())
+
+    for name, value in counter_items:
+        base, labels = _split_labels(name)
+        family = f"{namespace}_{_sanitize(base)}_total"
+        counters.setdefault(family, []).append((_label_text(labels), float(value)))
+    for name, value in gauge_items:
+        base, labels = _split_labels(name)
+        family = f"{namespace}_{_sanitize(base)}"
+        gauges.setdefault(family, []).append((_label_text(labels), float(value)))
+
+    for family in sorted(counters):
+        lines.append(f"# TYPE {family} counter")
+        for label_text, value in sorted(counters[family]):
+            lines.append(f"{family}{label_text} {_format_value(value)}")
+    for family in sorted(gauges):
+        lines.append(f"# TYPE {family} gauge")
+        for label_text, value in sorted(gauges[family]):
+            lines.append(f"{family}{label_text} {_format_value(value)}")
+
+    rendered: Dict[str, List[Tuple[str, "object"]]] = {}
+    for histogram in histograms:
+        base, labels = _split_labels(histogram.name)
+        family = f"{namespace}_{_sanitize(base)}_seconds"
+        rendered.setdefault(family, []).append((_label_text(labels), histogram))
+    for family in sorted(rendered):
+        lines.append(f"# TYPE {family} histogram")
+        for label_text, histogram in sorted(rendered[family], key=lambda item: item[0]):
+            base_labels = label_text[1:-1] if label_text else ""
+            for bound, cumulative in histogram.cumulative_buckets():
+                le = f'le="{_format_bound(bound)}"'
+                merged = f"{{{base_labels},{le}}}" if base_labels else f"{{{le}}}"
+                lines.append(f"{family}_bucket{merged} {cumulative}")
+            lines.append(f"{family}_sum{label_text} {_format_value(histogram.sum)}")
+            lines.append(f"{family}_count{label_text} {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse exposition text back to ``{(name, labels): value}`` (test helper)."""
+    series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        metric, _, raw_value = line.rpartition(" ")
+        if "{" in metric:
+            name, _, label_blob = metric.partition("{")
+            label_blob = label_blob.rstrip("}")
+            labels = []
+            for item in filter(None, _split_label_items(label_blob)):
+                key, _, value = item.partition("=")
+                labels.append((key, value.strip('"').replace('\\"', '"').replace("\\\\", "\\")))
+            key = (name, tuple(sorted(labels)))
+        else:
+            key = (metric, ())
+        series[key] = math.inf if raw_value == "+Inf" else float(raw_value)
+    return series
+
+
+def _split_label_items(blob: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    items, depth, start = [], False, 0
+    for index, char in enumerate(blob):
+        if char == '"' and (index == 0 or blob[index - 1] != "\\"):
+            depth = not depth
+        elif char == "," and not depth:
+            items.append(blob[start:index])
+            start = index + 1
+    items.append(blob[start:])
+    return items
+
+
+def prometheus_requested(accept_header: Optional[str]) -> bool:
+    """Content negotiation: Prometheus text iff the client asks for it.
+
+    JSON stays the default — existing scrapers and tests send no ``Accept``
+    (or ``*/*``) and keep getting the JSON snapshot; only an explicit
+    ``text/plain`` preference switches to exposition format.
+    """
+    if not accept_header:
+        return False
+    return "text/plain" in accept_header
+
+
+def spans_to_json(spans: Iterable[Span]) -> List[Dict[str, object]]:
+    """Spans as JSON-safe dicts, oldest first (the ``/trace`` payload)."""
+    return [span.to_dict() for span in spans]
+
+
+class _MetricsRequestHandler(BaseHTTPRequestHandler):
+    """GET-only handler: ``/metrics`` (negotiated), ``/trace``, ``/healthz``."""
+
+    protocol_version = "HTTP/1.1"
+    server: "MetricsHTTPServer"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        pass
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        if self.path == "/metrics":
+            if prometheus_requested(self.headers.get("Accept")):
+                body = render_prometheus(self.server.telemetry).encode("utf-8")
+                self._send(200, body, PROMETHEUS_CONTENT_TYPE)
+            else:
+                payload = dict(self.server.telemetry.snapshot())
+                payload["histograms"] = self.server.telemetry.histogram_summaries()
+                self._send(200, json.dumps(payload).encode("utf-8"), "application/json")
+        elif self.path == "/trace":
+            ring = self.server.span_ring
+            spans = spans_to_json(ring.spans()) if ring is not None else []
+            body = json.dumps({"spans": spans}).encode("utf-8")
+            self._send(200, body, "application/json")
+        elif self.path == "/healthz":
+            self._send(200, b'{"status": "ok"}', "application/json")
+        else:
+            self._send(404, b'{"error": "not found"}', "application/json")
+
+
+class MetricsHTTPServer(ThreadingHTTPServer):
+    """A sidecar ``/metrics`` + ``/trace`` HTTP server for non-serve processes.
+
+    The byte-store server (``--metrics-port``) and fleet workers
+    (``--metrics-port``) expose their registry and span ring through one of
+    these; the serve layer's main HTTP server has the endpoints built in.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        tracer: Optional[Tracer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__((host, port), _MetricsRequestHandler)
+        self.telemetry = telemetry
+        self.span_ring: Optional[SpanRing] = tracer.ring if tracer is not None else None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"{host}:{port}"
+
+    def start(self) -> "MetricsHTTPServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self.serve_forever, name="obs-metrics-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

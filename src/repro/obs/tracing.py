@@ -1,0 +1,309 @@
+"""Sampled request tracing: trace contexts, spans, and the bounded span ring.
+
+A **trace** follows one request across the stack: ``trace_id`` names the
+request, every timed hop records a :class:`Span` carrying its own
+``span_id`` and its parent's.  Tracing is *sampled at the root*: the HTTP
+handler (or a test/bench harness) asks its :class:`Tracer` whether this
+request should be traced; untraced requests never allocate anything and the
+per-hop cost is one :data:`contextvars.ContextVar` read that returns
+``None``.
+
+Propagation:
+
+* **within a thread** — the active :class:`TraceContext` lives in a context
+  variable; :func:`span` opens a child span around a block.
+* **across threads** — the micro-batcher captures :func:`current` per
+  queued request at submit time and re-activates the context on its flush
+  worker thread (see ``repro.serve.batcher``).
+* **across processes** — :func:`trace_wire_header` renders the context as a
+  small JSON-safe dict carried under the ``"trace"`` key of the wire
+  protocol's frame header.  Unknown header keys are opaque to old peers, so
+  tracing rides the existing protocol unchanged; receivers rebuild a
+  context with :meth:`Tracer.adopt` and their spans are parented to the
+  sender's span.
+
+Finished spans land in the recording tracer's bounded :class:`SpanRing`
+(oldest dropped first), exported via the serve ``/trace`` endpoint, the
+wire ``trace-dump`` op and ``python -m repro trace-dump``.  Fleet workers
+drain their ring into heartbeat headers; the coordinator aggregates them —
+out of band of results, which stay byte-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanRing",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "current",
+    "maybe_trace",
+    "span",
+    "trace_wire_header",
+]
+
+
+def _new_id(nbytes: int = 8) -> str:
+    """A random lowercase-hex identifier (16 chars for spans, 32 for traces)."""
+    return os.urandom(nbytes).hex()
+
+
+@dataclass
+class Span:
+    """One finished, named hop of a trace.
+
+    ``start_s`` is wall-clock (:func:`time.time`) for cross-process
+    alignment; ``duration_s`` is measured with :func:`time.perf_counter`.
+    ``process`` labels the recording process (``serve``, ``byte-store``,
+    ``worker:<id>``, ...) so a multi-process dump reads unambiguously.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_s: float
+    duration_s: float
+    process: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "process": self.process,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            name=str(payload.get("name", "")),
+            start_s=float(payload.get("start_s", 0.0)),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            process=str(payload.get("process", "")),
+            attrs=dict(payload.get("attrs") or {}),
+        )
+
+
+class SpanRing:
+    """A bounded thread-safe ring of finished spans (oldest dropped first)."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"span ring capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._spans: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+
+    def spans(self) -> List[Span]:
+        """A point-in-time copy, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self, limit: Optional[int] = None) -> List[Span]:
+        """Remove and return up to ``limit`` oldest spans (all when ``None``)."""
+        with self._lock:
+            take = len(self._spans) if limit is None else min(int(limit), len(self._spans))
+            return [self._spans.popleft() for _ in range(take)]
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (survives ring eviction)."""
+        return self._recorded
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The active position inside a trace: which tracer records, under whom."""
+
+    tracer: "Tracer"
+    trace_id: str
+    span_id: str
+
+    def wire(self) -> Dict[str, str]:
+        """The JSON-safe dict carried in wire-protocol frame headers."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+class Tracer:
+    """Samples root traces and records spans into a bounded ring.
+
+    One tracer per process-role: the serve service, the byte-store server,
+    each fleet worker.  ``sample_rate`` only gates *root* sampling
+    (:meth:`sampled`); adopted contexts (from a wire header) are always
+    recorded — the sampling decision was made once, at the edge.
+    """
+
+    def __init__(self, sample_rate: float = 0.0, ring_size: int = 2048, process: str = "") -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate!r}")
+        self.sample_rate = float(sample_rate)
+        self.process = process
+        self.ring = SpanRing(ring_size)
+        self._random = random.Random()
+
+    def sampled(self) -> bool:
+        """Decide root sampling for one new request."""
+        return self.sample_rate > 0.0 and self._random.random() < self.sample_rate
+
+    def start(self, trace_id: Optional[str] = None, span_id: Optional[str] = None) -> TraceContext:
+        """A fresh root context (new trace unless ids are supplied)."""
+        return TraceContext(self, trace_id or _new_id(16), span_id or _new_id())
+
+    def adopt(self, wire: Optional[Dict[str, Any]]) -> Optional[TraceContext]:
+        """Rebuild a context from a frame-header ``"trace"`` dict, if sane."""
+        if not isinstance(wire, dict):
+            return None
+        trace_id, span_id = wire.get("trace_id"), wire.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return TraceContext(self, trace_id, span_id)
+
+    def record(
+        self,
+        ctx: TraceContext,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Record one finished child span of ``ctx`` into this tracer's ring."""
+        recorded = Span(
+            trace_id=ctx.trace_id,
+            span_id=_new_id(),
+            parent_id=ctx.span_id,
+            name=name,
+            start_s=start_s,
+            duration_s=duration_s,
+            process=self.process,
+            attrs=attrs or {},
+        )
+        self.ring.record(recorded)
+        return recorded
+
+
+_ACTIVE: ContextVar[Optional[TraceContext]] = ContextVar("repro_trace_context", default=None)
+
+
+def current() -> Optional[TraceContext]:
+    """The active trace context of this thread/task, or ``None``."""
+    return _ACTIVE.get()
+
+
+def trace_wire_header() -> Optional[Dict[str, str]]:
+    """The active context as a frame-header dict, or ``None`` when untraced."""
+    ctx = _ACTIVE.get()
+    return ctx.wire() if ctx is not None else None
+
+
+@contextlib.contextmanager
+def activate(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Make ``ctx`` the active context for the block (no span recorded).
+
+    Used to restore a captured context on another thread (batcher flush
+    workers) or an adopted one in another process (fleet workers).
+    ``activate(None)`` is a no-op passthrough, keeping call sites
+    branch-free.
+    """
+    if ctx is None:
+        yield None
+        return
+    token = _ACTIVE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """Record a child span around the block — free when no trace is active.
+
+    The untraced path is one context-variable read; nothing is allocated.
+    Inside the block the child context is active, so nested spans and wire
+    headers parent correctly.  The yielded (in-flight) :class:`Span` is
+    mutable: callers may add ``attrs`` discovered inside the block (a cache
+    lookup learns its serving tier only after the fact).
+    """
+    ctx = _ACTIVE.get()
+    if ctx is None:
+        yield None
+        return
+    recorded = Span(
+        trace_id=ctx.trace_id,
+        span_id=_new_id(),
+        parent_id=ctx.span_id,
+        name=name,
+        start_s=time.time(),
+        duration_s=0.0,
+        process=ctx.tracer.process,
+        attrs=attrs,
+    )
+    token = _ACTIVE.set(TraceContext(ctx.tracer, ctx.trace_id, recorded.span_id))
+    perf_start = time.perf_counter()
+    try:
+        yield recorded
+    finally:
+        recorded.duration_s = time.perf_counter() - perf_start
+        _ACTIVE.reset(token)
+        ctx.tracer.ring.record(recorded)
+
+
+@contextlib.contextmanager
+def maybe_trace(tracer: Optional["Tracer"], name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """Start a sampled root span — the per-request entry point.
+
+    ``tracer=None`` or an unsampled draw yields ``None`` without touching
+    the context variable, so the disabled path costs one attribute read and
+    one float compare.
+    """
+    if tracer is None or not tracer.sampled():
+        yield None
+        return
+    child = tracer.start()
+    recorded = Span(
+        trace_id=child.trace_id,
+        span_id=child.span_id,
+        parent_id=None,
+        name=name,
+        start_s=time.time(),
+        duration_s=0.0,
+        process=tracer.process,
+        attrs=attrs,
+    )
+    token = _ACTIVE.set(child)
+    perf_start = time.perf_counter()
+    try:
+        yield recorded
+    finally:
+        recorded.duration_s = time.perf_counter() - perf_start
+        _ACTIVE.reset(token)
+        tracer.ring.record(recorded)

@@ -746,9 +746,19 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "the explanation cache: artifacts exported on other hosts "
         "become servable here, and cache entries are fleet-shared",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of requests traced end-to-end (0..1); sampled "
+        "spans are exported at /trace and `repro trace-dump --url` "
+        "(default: 0, tracing off)",
+    )
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from ..obs import ObsConfig
     from ..serve.cache import ExplanationCache
     from ..serve.http import run_server
     from ..serve.service import ExplanationService, ServeConfig
@@ -779,6 +789,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_total_depth=args.max_total_depth,
         drain_timeout_s=args.drain_timeout_s,
         precision=args.precision,
+        obs=ObsConfig(trace_sample_rate=args.trace_sample_rate),
     )
     service = ExplanationService(store, cache=cache, config=config)
     print(
@@ -793,7 +804,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     def announce(host, port):
         print(
             f"[repro] listening on http://{host}:{port} "
-            f"(/models /classify /explain /healthz /metrics; Ctrl-C stops)",
+            f"(/models /classify /explain /healthz /metrics /trace; Ctrl-C stops)"
+            + (
+                f" [tracing {args.trace_sample_rate:g} sampled]"
+                if args.trace_sample_rate
+                else ""
+            ),
             file=sys.stderr,
         )
 
@@ -992,6 +1008,14 @@ def _add_byte_store_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="MB",
         help="LRU bound of the on-disk tier (default: unbounded)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve /metrics (JSON or Prometheus text) and /trace for this "
+        "process on 127.0.0.1:PORT; 0 picks an ephemeral port "
+        "(default: no metrics endpoint)",
+    )
 
 
 def _command_byte_store_server(args: argparse.Namespace) -> int:
@@ -1004,6 +1028,7 @@ def _command_byte_store_server(args: argparse.Namespace) -> int:
         max_memory_bytes=int(args.memory_mb * 1024 * 1024),
         max_disk_bytes=None if args.disk_mb is None else int(args.disk_mb * 1024 * 1024),
     )
+    metrics_server = _start_metrics_sidecar(args, server.wire.telemetry, server.wire.tracer)
     print(
         f"[repro] byte-store server listening on {server.address}"
         + (f" (dir {args.directory})" if args.directory else " (memory-only)")
@@ -1015,7 +1040,24 @@ def _command_byte_store_server(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("[repro] byte-store server stopping", file=sys.stderr)
         server.close()
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     return 0
+
+
+def _start_metrics_sidecar(args: argparse.Namespace, telemetry, tracer):
+    """Start the /metrics + /trace HTTP sidecar when ``--metrics-port`` was given."""
+    if getattr(args, "metrics_port", None) is None:
+        return None
+    from ..obs import MetricsHTTPServer
+
+    sidecar = MetricsHTTPServer(telemetry, tracer=tracer, port=args.metrics_port).start()
+    print(
+        f"[repro] metrics endpoint on http://{sidecar.address} (/metrics /trace /healthz)",
+        file=sys.stderr,
+    )
+    return sidecar
 
 
 def _add_worker_arguments(parser: argparse.ArgumentParser) -> None:
@@ -1058,16 +1100,30 @@ def _add_worker_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="S",
         help="exit after this long without work (default: wait for the coordinator to drain)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve /metrics (JSON or Prometheus text) and /trace for this "
+        "worker on 127.0.0.1:PORT; 0 picks an ephemeral port "
+        "(default: no metrics endpoint)",
+    )
 
 
 def _command_worker(args: argparse.Namespace) -> int:
-    from ..dist.worker import run_worker
+    from ..dist.worker import default_worker_id, run_worker
+    from ..obs.tracing import Tracer
+    from ..telemetry import Telemetry
 
     cache = (
         ResultCache(directory=args.cache_dir, remote=_remote_store(args.remote_store))
         if args.cache_dir or args.remote_store
         else None
     )
+    worker_id = args.worker_id or default_worker_id()
+    telemetry = Telemetry()
+    tracer = Tracer(sample_rate=0.0, process=f"worker:{worker_id}")
+    metrics_server = _start_metrics_sidecar(args, telemetry, tracer)
     print(
         f"[repro] worker connecting to {args.connect}"
         + (f" cache={args.cache_dir}" if args.cache_dir else "")
@@ -1079,14 +1135,76 @@ def _command_worker(args: argparse.Namespace) -> int:
             args.connect,
             cache=cache,
             providers=args.provider,
-            worker_id=args.worker_id,
+            worker_id=worker_id,
             poll_interval_s=args.poll_interval_s,
             max_idle_s=args.max_idle_s,
+            telemetry=telemetry,
+            tracer=tracer,
         )
     except KeyboardInterrupt:
         print("[repro] worker interrupted", file=sys.stderr)
         return 130
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     print(f"[repro] worker done: {completed} unit(s) completed", file=sys.stderr)
+    return 0
+
+
+def _add_trace_dump_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--url",
+        metavar="http://HOST:PORT",
+        help="base URL of a serving host or metrics sidecar; spans are "
+        "fetched from its /trace endpoint",
+    )
+    source.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="wire-protocol address of a byte-store server or fleet "
+        "coordinator; spans are fetched via the trace-dump op",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the JSONL export here instead of stdout",
+    )
+
+
+def _command_trace_dump(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.url:
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/trace"
+        try:
+            with urlopen(url, timeout=10.0) as response:
+                payload = _json.loads(response.read().decode("utf-8"))
+        except (OSError, ValueError) as error:
+            print(f"error: could not fetch {url}: {error}", file=sys.stderr)
+            return 2
+        spans = payload.get("spans", [])
+    else:
+        from ..dist.client import RemoteStoreConfig, RemoteUnavailableError, WireClient
+
+        client = WireClient(RemoteStoreConfig(address=args.connect, retries=0))
+        try:
+            header, _ = client.request({"op": "trace-dump"})
+        except RemoteUnavailableError as error:
+            print(f"error: could not reach {args.connect}: {error}", file=sys.stderr)
+            return 2
+        finally:
+            client.close()
+        spans = header.get("spans", [])
+    lines = "".join(_json.dumps(span, sort_keys=True) + "\n" for span in spans)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(lines)
+        print(f"[repro] wrote {len(spans)} span(s) to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(lines)
     return 0
 
 
@@ -1142,6 +1260,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(optionally remote-backed) result cache, execute, report.",
     )
     _add_worker_arguments(worker_parser)
+    trace_dump_parser = subparsers.add_parser(
+        "trace-dump",
+        help="export collected trace spans as JSONL",
+        description="Fetch the span ring of a serving host (--url, HTTP "
+        "/trace) or of a wire-protocol server (--connect, the "
+        "trace-dump op) and emit one JSON span per line.",
+    )
+    _add_trace_dump_arguments(trace_dump_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -1156,6 +1282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_byte_store_server(args)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "trace-dump":
+        return _command_trace_dump(args)
     return _command_run(args)
 
 

@@ -187,8 +187,16 @@ class TieredByteStore:
         return os.path.join(self.directory, f"{key}{self.suffix}")
 
     def get(self, key: str) -> Optional[bytes]:
+        return self.get_with_tier(key)[0]
+
+    def get_with_tier(self, key: str) -> Tuple[Optional[bytes], str]:
+        """``(blob, tier)`` where tier is the serving one: ``"memory"`` /
+        ``"disk"`` / ``"remote"`` on a hit, ``"miss"`` otherwise — the
+        observability layer records per-tier hit latency from this."""
         blob = self.memory.get(key)
-        if blob is None and self.directory:
+        if blob is not None:
+            return blob, "memory"
+        if self.directory:
             path = self.path(key)
             try:  # a torn/evicted-underneath-us file is a miss, not a crash
                 with open(path, "rb") as handle:
@@ -198,12 +206,14 @@ class TieredByteStore:
             else:
                 touch(path)
                 self.memory.put(key, blob)
-        if blob is None and self.remote is not None:
+                return blob, "disk"
+        if self.remote is not None:
             blob = self.remote.get(key)
             if blob is not None:  # promote so the next read stays local
                 self.memory.put(key, blob)
                 self._store_disk(key, blob)
-        return blob
+                return blob, "remote"
+        return None, "miss"
 
     def put(self, key: str, blob: bytes) -> None:
         self.memory.put(key, blob)

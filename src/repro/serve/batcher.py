@@ -49,6 +49,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from ..obs.tracing import TraceContext, activate, current, span
 from ..telemetry import Telemetry
 from .policy import BatchPolicy, StaticBatchPolicy
 
@@ -86,6 +87,10 @@ class _Pending:
     #: measured in work, not request count.
     cost: float = 1.0
     enqueued_at: float = field(default_factory=time.perf_counter)
+    #: Trace context captured on the *submitting* thread — the flush runs on
+    #: the group's worker thread, where the submitter's context variable is
+    #: invisible, so cross-thread propagation has to be explicit.
+    trace: Optional[TraceContext] = None
 
 
 class _GroupWorker:
@@ -159,9 +164,31 @@ class _GroupWorker:
         # request sat before execution began.  Reported to the policy so an
         # adaptive width answers to end-to-end latency, not just flush time.
         queue_seconds = max(0.0, started - batch[0].enqueued_at)
+        # Per-request queue-wait distribution, plus a queue span per *traced*
+        # request.  Engine/cache spans of a coalesced flush attribute to the
+        # first traced request of the batch (the flush runs once for all of
+        # them); the per-request queue spans keep every traced request's own
+        # wait visible.
+        queue_timer = telemetry.timer(f"queue_wait_{kind}")
+        wall_started = time.time()
+        first_trace: Optional[TraceContext] = None
+        for pending in batch:
+            wait = max(0.0, started - pending.enqueued_at)
+            queue_timer.add(wait)
+            if pending.trace is not None:
+                pending.trace.tracer.record(
+                    pending.trace, "batcher.queue", wall_started - wait, wait, attrs={"kind": str(kind)}
+                )
+                if first_trace is None:
+                    first_trace = pending.trace
         try:
             with telemetry.timer(f"flush_{kind}"):
-                self._execute_batch(batch)
+                if first_trace is not None:
+                    with activate(first_trace):
+                        with span("batcher.flush", width=len(batch), reason=reason):
+                            self._execute_batch(batch)
+                else:
+                    self._execute_batch(batch)
         finally:
             elapsed = time.perf_counter() - started
             self.release(len(batch), batch_cost)
@@ -305,8 +332,9 @@ class MicroBatcher:
         ``batched_requests``, ``flushes_full`` / ``flushes_timed_out`` /
         ``flushes_shutdown``, ``requests_shed`` (plus
         ``requests_shed_priority`` for priority-0 sheds at the global
-        watermark), per-kind ``flush_<kind>`` timers, per-group
-        ``queue_depth[...]`` gauges and the global ``total_depth`` gauge.
+        watermark), per-kind ``flush_<kind>`` / ``queue_wait_<kind>`` timers
+        (each backed by a latency histogram), per-group ``queue_depth[...]``
+        gauges and the global ``total_depth`` gauge.
     """
 
     def __init__(
@@ -366,7 +394,7 @@ class MicroBatcher:
         """
         if not cost > 0.0:
             raise ValueError(f"cost must be > 0, got {cost}")
-        pending = _Pending(request=request, future=Future(), cost=float(cost))
+        pending = _Pending(request=request, future=Future(), cost=float(cost), trace=current())
         with self._lifecycle:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")

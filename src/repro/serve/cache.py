@@ -24,10 +24,12 @@ and the telemetry counters.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Optional, Union
 
 import numpy as np
 
+from ..obs.tracing import span
 from ..runtime.eviction import TieredByteStore
 from ..telemetry import Telemetry
 
@@ -165,8 +167,18 @@ class ExplanationCache:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
 
     def get(self, key: str) -> Optional[bytes]:
-        """The stored bytes for ``key`` (``None`` on miss); counts telemetry."""
-        blob = self._store.get(key)
+        """The stored bytes for ``key`` (``None`` on miss); counts telemetry.
+
+        Besides the hit/miss counters, the lookup latency is recorded into a
+        per-tier ``cache_get[...]`` histogram (memory/disk/remote/miss) and,
+        for traced requests, a ``cache.get`` span carrying the serving tier.
+        """
+        with span("cache.get") as ctx:
+            started = time.perf_counter()
+            blob, tier = self._store.get_with_tier(key)
+            self.telemetry.timer(f"cache_get[{tier}]").add(time.perf_counter() - started)
+            if ctx is not None:
+                ctx.attrs["tier"] = tier
         if blob is None:
             self.telemetry.increment("cache_misses")
         else:
@@ -176,7 +188,8 @@ class ExplanationCache:
     def put(self, key: str, blob: bytes) -> None:
         """Store ``blob`` under ``key`` in both tiers; enforces the bounds."""
         before = self._store.evictions
-        self._store.put(key, blob)
+        with span("cache.put", size=len(blob)):
+            self._store.put(key, blob)
         evicted = self._store.evictions - before
         self.telemetry.increment("cache_stores")
         if evicted:

@@ -12,7 +12,13 @@ Routes
 ``GET /models``
     Artifact records of every registered model.
 ``GET /metrics``
-    The shared telemetry snapshot (request / batch / cache counters).
+    The shared telemetry snapshot (request / batch / cache counters plus
+    latency-histogram summaries) as JSON by default; Prometheus text
+    exposition when the client sends ``Accept: text/plain`` (content
+    negotiation — see :mod:`repro.obs.exposition`).
+``GET /trace``
+    The bounded ring of finished trace spans (sampled requests only; see
+    :mod:`repro.obs.tracing`), as ``{"spans": [...]}``.
 ``POST /classify``
     ``{"model": name, "instance": [[...], ...]}`` →
     logits, prediction and class probabilities.
@@ -38,9 +44,17 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from ..obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_requested,
+    render_prometheus,
+    spans_to_json,
+)
+from ..obs.tracing import maybe_trace
 from .batcher import QueueFullError
 from .service import ExplanationService
 
@@ -91,6 +105,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -111,7 +132,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             if self.path == "/healthz":
                 self._send_json(200, service.healthz())
             elif self.path == "/metrics":
-                self._send_json(200, service.metrics())
+                if prometheus_requested(self.headers.get("Accept")):
+                    body = render_prometheus(service.telemetry).encode("utf-8")
+                    self._send_text(200, body, PROMETHEUS_CONTENT_TYPE)
+                else:
+                    self._send_json(200, service.metrics())
+            elif self.path == "/trace":
+                self._send_json(200, {"spans": spans_to_json(service.tracer.ring.spans())})
             elif self.path == "/models":
                 self._send_json(200, {"models": service.models()})
             else:
@@ -124,9 +151,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json()
             if self.path == "/classify":
-                self._send_json(200, self._classify(service, payload))
+                self._send_json(200, self._timed(service, "classify", payload, self._classify))
             elif self.path == "/explain":
-                self._send_json(200, self._explain(service, payload))
+                self._send_json(200, self._timed(service, "explain", payload, self._explain))
             else:
                 self._send_json(404, {"error": f"unknown route {self.path!r}"})
         except QueueFullError as error:
@@ -144,6 +171,20 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(error)})
         except Exception as error:  # noqa: BLE001 - boundary of the process
             self._send_json(500, {"error": str(error)})
+
+    def _timed(self, service: ExplanationService, kind: str, payload: Dict[str, Any], handler):
+        """Time one request into ``http_<kind>`` and open its sampled root span.
+
+        The handler-level histogram sees every outcome (including errors and
+        shed requests); the root span is only recorded for sampled requests
+        and never alters the response bytes.
+        """
+        started = time.perf_counter()
+        try:
+            with maybe_trace(service.tracer, f"http./{kind}", model=str(payload.get("model"))):
+                return handler(service, payload)
+        finally:
+            service.telemetry.timer(f"http_{kind}").add(time.perf_counter() - started)
 
     @staticmethod
     def _required(payload: Dict[str, Any], *names: str) -> None:

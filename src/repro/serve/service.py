@@ -21,12 +21,14 @@ accumulate in one shared :class:`~repro.telemetry.Telemetry` registry that
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from ..explain.base import DEFAULT_K
+from ..obs.config import ObsConfig
+from ..obs.tracing import Tracer, span
 from ..telemetry import Telemetry
 from . import engine
 from .batcher import (
@@ -115,6 +117,10 @@ class ServeConfig:
     #: probe runs against the cast model, so coalescing stays bit-exact
     #: within the chosen tier.
     precision: str = "float64"
+    #: Observability knobs (trace sampling, span-ring size); metrics and
+    #: latency histograms are always on.  Tracing is strictly out of band:
+    #: response bytes and cache keys are identical at any sample rate.
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def make_batch_policy(self, telemetry: Optional[Telemetry] = None) -> BatchPolicy:
         """The configured :class:`BatchPolicy` instance."""
@@ -202,6 +208,11 @@ class ExplanationService:
             raise ValueError(f"unknown precision {self.config.precision!r}; "
                              "expected 'float64' or 'float32'")
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.tracer = Tracer(
+            sample_rate=self.config.obs.trace_sample_rate,
+            ring_size=self.config.obs.trace_ring_size,
+            process=self.config.obs.process_label,
+        )
         self.cache = cache if cache is not None else ExplanationCache(telemetry=self.telemetry)
         if self.cache.telemetry is not self.telemetry:
             # One registry for the whole service, whatever the caller built.
@@ -232,7 +243,10 @@ class ExplanationService:
         return {"status": "ok", "models": len(self.store.list_names())}
 
     def metrics(self) -> Dict[str, Any]:
-        return self.telemetry.snapshot()
+        """The flat snapshot plus per-histogram percentile summaries."""
+        payload: Dict[str, Any] = self.telemetry.snapshot()
+        payload["histograms"] = self.telemetry.histogram_summaries()
+        return payload
 
     def close(self, timeout: Any = _UNSET) -> None:
         """Drain the batcher and stop its workers.
@@ -415,9 +429,10 @@ class ExplanationService:
         model = self._model(model_name)
         parity = self.parity(model_name)
         with self.telemetry.timer("engine"):
-            if kind == "classify":
-                return self._execute_classify(model_name, model, requests, parity.classify)
-            return self._execute_explain(model_name, model, requests, bool(parity.explain))
+            with span("engine", model=model_name, kind=kind, width=len(requests)):
+                if kind == "classify":
+                    return self._execute_classify(model_name, model, requests, parity.classify)
+                return self._execute_explain(model_name, model, requests, bool(parity.explain))
 
     def _execute_classify(
         self, model_name: str, model, requests: List[_ClassifyWork], coalesce: bool

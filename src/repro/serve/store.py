@@ -197,12 +197,19 @@ class ModelArtifactStore:
         # Weights first: a peer that sees the artifact record must find them.
         self.remote.put(_REMOTE_WEIGHTS_PREFIX + artifact.state_hash, weights)
         self.remote.put(_REMOTE_ARTIFACT_PREFIX + artifact.name, artifact_json)
+        # Preferred path: the server merges the name into the index under its
+        # own lock (the ``index-update`` op), so concurrent registers from
+        # different hosts cannot drop each other's names.
+        index_update = getattr(self.remote, "index_update", None)
+        if index_update is not None and index_update(_REMOTE_INDEX_KEY, [artifact.name]) is not None:
+            return
+        # Fallback against old servers (or a plain byte-store without the
+        # op): client-side read-modify-write, which is last-write-wins;
+        # list_names unions the index with the local directory, so a lost
+        # update only hides a *remote* peer's name from listings — its
+        # artifact/weights blobs stay fetchable by name.
         names = set(self.list_names())
         names.add(artifact.name)
-        # Read-modify-write on the index is last-write-wins; list_names unions
-        # it with the local directory, so a lost update only hides a *remote*
-        # peer's name from listings — its artifact/weights blobs stay
-        # fetchable by name.
         self.remote.put(
             _REMOTE_INDEX_KEY, json.dumps(sorted(names)).encode("utf-8")
         )

@@ -36,6 +36,7 @@ the next miss either slides by the accumulated gap or cold-starts.
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -44,6 +45,7 @@ import numpy as np
 from ..core.dcam import _stack_orders, compute_dcam, extract_dcam, permutation_rows
 from ..core.input_transform import build_cube_batch, random_permutations, roll_cube_batch
 from ..nn import inference_mode
+from ..obs.tracing import span
 from ..serve.cache import stream_window_key
 from .config import StreamConfig
 from .incremental import IncrementalTrunk, UnsupportedArchitectureError, supports_incremental
@@ -161,12 +163,19 @@ class StreamSession:
     state_hash:
         Optional precomputed model-state hash for the cache keys (e.g. the
         artifact store's); derived from the weights when omitted.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` registry; each emission
+        records its compute latency into the ``stream_hop`` timer/histogram
+        (cache hits excluded — they measure the cache, not the engine).
+        Omitted: only the session's own ``stats`` counters are kept.
     """
 
     def __init__(self, model, config: Optional[StreamConfig] = None, *,
-                 cache=None, state_hash: Optional[str] = None) -> None:
+                 cache=None, state_hash: Optional[str] = None,
+                 telemetry=None) -> None:
         self.config = config if config is not None else StreamConfig()
         self.config.validate()
+        self.telemetry = telemetry
         window = self.config.window if self.config.window is not None else model.length
         if window != model.length:
             raise ValueError(
@@ -322,10 +331,14 @@ class StreamSession:
                 self.stats["cache_hits"] += 1
                 payload = pickle.loads(blob)
                 return self._result(index, t_end, payload, cached=True)
-        if self.engine == "incremental":
-            payload = self._compute_incremental()
-        else:
-            payload = self._compute_naive()
+        started = time.perf_counter()
+        with span("stream.hop", index=index, engine=self.engine):
+            if self.engine == "incremental":
+                payload = self._compute_incremental()
+            else:
+                payload = self._compute_naive()
+        if self.telemetry is not None:
+            self.telemetry.timer("stream_hop").add(time.perf_counter() - started)
         if key is not None:
             self.cache.put(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
         return self._result(index, t_end, payload, cached=False)

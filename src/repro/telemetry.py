@@ -1,172 +1,36 @@
-"""Lightweight counters, timers and gauges shared by the runtime and serving.
+"""Compatibility shim: the metric primitives now live in :mod:`repro.obs`.
 
-One :class:`Telemetry` registry holds named monotonic :class:`Counter`\\ s,
-cumulative :class:`Timer`\\ s and last-value :class:`Gauge`\\ s.  The
-primitives are deliberately tiny — a lock, an integer / a float — so they can
-sit on hot paths (the serving batcher, the ``repro.run`` unit loop) without
-measurable overhead, and deliberately *shared*: the serve ``/metrics``
-endpoint and the runtime progress hooks both render the same
-:meth:`Telemetry.snapshot` mapping.
+The original flat module grew into the :mod:`repro.obs` package (metrics,
+histograms, tracing, Prometheus exposition).  Every pre-existing import —
+``from repro.telemetry import Telemetry`` and friends — keeps working
+through this re-export; new code should import from :mod:`repro.obs`
+directly.
 
 >>> telemetry = Telemetry()
 >>> telemetry.counter("requests").increment()
->>> with telemetry.timer("explain_seconds"):
+1
+>>> with telemetry.timer("explain"):
 ...     pass
 >>> sorted(telemetry.snapshot())
-['explain_seconds', 'requests']
+['explain_count', 'explain_seconds', 'requests']
 """
 
-from __future__ import annotations
+from .obs.metrics import (  # noqa: F401 - re-exported compatibility surface
+    Counter,
+    Gauge,
+    Histogram,
+    ProgressHook,
+    Telemetry,
+    Timer,
+    null_telemetry,
+)
 
-import threading
-import time
-from typing import Callable, Dict, Optional, Union
-
-
-class Counter:
-    """A named, thread-safe, monotonically increasing integer."""
-
-    __slots__ = ("name", "_value", "_lock")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def increment(self, amount: int = 1) -> int:
-        """Add ``amount`` (default 1) and return the new value."""
-        with self._lock:
-            self._value += int(amount)
-            return self._value
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-
-class Gauge:
-    """A named, thread-safe last-value metric (queue depth, policy state).
-
-    Unlike :class:`Counter` a gauge moves in both directions: ``set`` replaces
-    the value, ``adjust`` moves it relative to the current one (and returns
-    the new value).  Snapshot renders the instantaneous value.
-    """
-
-    __slots__ = ("name", "_value", "_lock")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = float(value)
-
-    def adjust(self, delta: float) -> float:
-        with self._lock:
-            self._value += float(delta)
-            return self._value
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-
-class Timer:
-    """A named, thread-safe cumulative wall-clock timer.
-
-    Use as a context manager (:func:`time.perf_counter` based); ``seconds``
-    accumulates across entries and ``count`` records how many measurements
-    contributed.  The in-flight start mark is thread-local, so concurrent
-    ``with`` blocks on one timer measure independently.
-    """
-
-    __slots__ = ("name", "seconds", "count", "_lock", "_local")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.seconds = 0.0
-        self.count = 0
-        self._lock = threading.Lock()
-        self._local = threading.local()
-
-    def add(self, seconds: float) -> None:
-        with self._lock:
-            self.seconds += float(seconds)
-            self.count += 1
-
-    def __enter__(self) -> "Timer":
-        self._local.start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.add(time.perf_counter() - self._local.start)
-
-
-class Telemetry:
-    """A registry of named counters and timers with one ``snapshot()`` view.
-
-    Counters and timers are created lazily on first access and live for the
-    registry's lifetime.  ``snapshot()`` returns plain scalars (counters as
-    ints, timers as ``<name>_seconds`` / ``<name>_count`` pairs), which is what
-    both the serve ``/metrics`` endpoint and the CLI progress output render.
-    """
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._timers: Dict[str, Timer] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            with self._lock:
-                counter = self._counters.setdefault(name, Counter(name))
-        return counter
-
-    def timer(self, name: str) -> Timer:
-        timer = self._timers.get(name)
-        if timer is None:
-            with self._lock:
-                timer = self._timers.setdefault(name, Timer(name))
-        return timer
-
-    def gauge(self, name: str) -> Gauge:
-        gauge = self._gauges.get(name)
-        if gauge is None:
-            with self._lock:
-                gauge = self._gauges.setdefault(name, Gauge(name))
-        return gauge
-
-    def increment(self, name: str, amount: int = 1) -> int:
-        """Shorthand for ``telemetry.counter(name).increment(amount)``."""
-        return self.counter(name).increment(amount)
-
-    def snapshot(self) -> Dict[str, Union[int, float]]:
-        """All metrics as one flat ``{name: scalar}`` mapping."""
-        values: Dict[str, Union[int, float]] = {}
-        with self._lock:
-            counters = list(self._counters.values())
-            timers = list(self._timers.values())
-            gauges = list(self._gauges.values())
-        for counter in counters:
-            values[counter.name] = counter.value
-        for timer in timers:
-            values[f"{timer.name}_seconds"] = timer.seconds
-            values[f"{timer.name}_count"] = timer.count
-        for gauge in gauges:
-            values[gauge.name] = gauge.value
-        return values
-
-
-#: Hook signature of :func:`repro.runtime.run`'s per-unit progress callback:
-#: ``on_unit(index, total, unit, source)`` where ``source`` is ``"cache"`` or
-#: ``"executed"``.
-ProgressHook = Callable[[int, int, object, str], None]
-
-
-def null_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
-    """``telemetry`` or a fresh throwaway registry (keeps call sites branch-free)."""
-    return telemetry if telemetry is not None else Telemetry()
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ProgressHook",
+    "Telemetry",
+    "Timer",
+    "null_telemetry",
+]

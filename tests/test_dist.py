@@ -32,6 +32,7 @@ from repro.dist import (
     FleetExecutor,
     ProtocolError,
     RemoteByteStore,
+    RemoteRefusedError,
     RemoteStoreConfig,
     RemoteUnavailableError,
     UnitFailedError,
@@ -338,6 +339,77 @@ class TestArtifactStoreRemote:
         with pytest.raises(KeyError):
             store.artifact("never-registered")
         remote.close()
+
+
+# ---------------------------------------------------------------------------
+# atomic server-side index updates (the index-update op)
+# ---------------------------------------------------------------------------
+class TestIndexUpdate:
+    def test_merges_server_side_and_tolerates_corruption(self, byte_server):
+        remote = RemoteByteStore(RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE))
+        assert remote.index_update("idx", ["b", "a"]) == ["a", "b"]
+        assert remote.index_update("idx", ["c"]) == ["a", "b", "c"]
+        # A corrupt index is rebuilt from the submitted names instead of
+        # poisoning every later publish.
+        byte_server.store.put("idx", b"{not json")
+        assert remote.index_update("idx", ["d"]) == ["d"]
+        assert remote.telemetry.counter("remote_index_updates").value == 3
+        remote.close()
+
+    def test_concurrent_updates_drop_no_names(self, byte_server):
+        import json as json_module
+
+        remotes = [
+            RemoteByteStore(RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE))
+            for _ in range(8)
+        ]
+        threads = [
+            threading.Thread(target=remote.index_update, args=("races", [f"name-{index}"]))
+            for index, remote in enumerate(remotes)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = json_module.loads(byte_server.store.get("races").decode("utf-8"))
+        assert merged == [f"name-{index}" for index in range(8)]
+        for remote in remotes:
+            remote.close()
+
+    def test_refusal_from_old_server_is_remembered_without_cooldown(self, byte_server):
+        # Simulate a pre-index-update server: the op is simply unknown.
+        del byte_server.wire._handlers["index-update"]
+        remote = RemoteByteStore(RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE))
+        assert remote.index_update("idx", ["a"]) is None
+        # The refusal proved the server alive: no down-cooldown started and
+        # ordinary ops keep flowing.
+        assert remote.available
+        assert remote.put("k", b"v") and remote.get("k") == b"v"
+        assert remote.telemetry.counter("remote_errors").value == 0
+        # The answer is remembered; later updates skip straight to None.
+        assert remote._index_update_supported is False
+        assert remote.index_update("idx", ["b"]) is None
+        remote.close()
+
+    def test_register_falls_back_to_client_side_put(self, byte_server, tmp_path):
+        del byte_server.wire._handlers["index-update"]
+        remote = RemoteByteStore(RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE))
+        store = ModelArtifactStore(str(tmp_path / "host-a"), remote=remote)
+        store.register("legacy", create_model("cnn", 3, 32, 2), model_name="cnn")
+        fetcher = ModelArtifactStore(
+            str(tmp_path / "host-b"),
+            remote=RemoteByteStore(RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE)),
+        )
+        assert "legacy" in fetcher.list_names()
+        remote.close()
+
+    def test_invalid_add_payload_is_refused(self, byte_server):
+        client = WireClient(RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE))
+        with pytest.raises(RemoteRefusedError, match="list of name strings"):
+            client.request({"op": "index-update", "key": "idx", "add": "oops"})
+        # The subclass preserves the historical catch-all behaviour.
+        assert issubclass(RemoteRefusedError, RemoteUnavailableError)
+        client.close()
 
 
 # ---------------------------------------------------------------------------

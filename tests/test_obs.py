@@ -1,0 +1,390 @@
+"""Unit tests for the observability package (repro.obs).
+
+Covers the histogram primitive (fixed bucket geometry, quantile error
+budget, cross-process merging), the telemetry registry's snapshot-key
+collision detection, the tracing primitives (sampling, context
+propagation, the bounded span ring), the Prometheus text exposition
+(golden parse + re-serialize round-trip), and the sidecar /metrics HTTP
+server under concurrent writers.
+"""
+
+import json
+import math
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsHTTPServer,
+    ObsConfig,
+    Span,
+    SpanRing,
+    Telemetry,
+    Tracer,
+    activate,
+    current,
+    maybe_trace,
+    parse_prometheus,
+    render_prometheus,
+    span,
+    trace_wire_header,
+)
+from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE, prometheus_requested
+from repro.obs.metrics import BUCKET_UPPER_BOUNDS, bucket_index
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+# ---------------------------------------------------------------------------
+class TestHistogram:
+    def test_bucket_geometry_is_fixed_and_monotone(self):
+        assert len(BUCKET_UPPER_BOUNDS) == 120
+        assert BUCKET_UPPER_BOUNDS[-1] == math.inf
+        assert all(a < b for a, b in zip(BUCKET_UPPER_BOUNDS, BUCKET_UPPER_BOUNDS[1:]))
+        assert bucket_index(0.0) == 0
+        assert bucket_index(1e-6) == 0
+        assert bucket_index(1e9) == 119  # overflow bucket
+        # A value strictly inside a bucket maps to it (exact bounds may
+        # land one bucket up through floating-point log rounding).
+        for index, bound in enumerate(BUCKET_UPPER_BOUNDS[:-1]):
+            assert bucket_index(bound * 0.999) <= index
+
+    def test_count_sum_min_max(self):
+        histogram = Histogram("t")
+        for value in (0.001, 0.002, 0.004):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.007)
+        payload = histogram.to_dict()
+        assert payload["min"] == 0.001 and payload["max"] == 0.004
+
+    def test_quantiles_within_documented_error_budget(self):
+        # sqrt(growth) - 1 ~ 9% relative error is the documented budget.
+        import random
+
+        rng = random.Random(7)
+        values = [rng.lognormvariate(-6.0, 1.0) for _ in range(5000)]
+        histogram = Histogram("lat")
+        for value in values:
+            histogram.observe(value)
+        values.sort()
+        for q in (0.50, 0.90, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            estimate = histogram.quantile(q)
+            assert abs(estimate - exact) / exact < 0.10
+
+    def test_empty_quantile_and_validation(self):
+        histogram = Histogram("empty")
+        assert histogram.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_merge_dict_round_trip_is_exact(self):
+        a, b = Histogram("a"), Histogram("b")
+        for value in (0.0001, 0.003, 0.2):
+            a.observe(value)
+        for value in (0.001, 5.0):
+            b.observe(value)
+        merged = Histogram("merged")
+        merged.merge_dict(a.to_dict())
+        merged.merge_dict(b.to_dict())
+        assert merged.count == 5
+        assert merged.sum == pytest.approx(a.sum + b.sum)
+        direct = Histogram("direct")
+        for value in (0.0001, 0.003, 0.2, 0.001, 5.0):
+            direct.observe(value)
+        assert merged.to_dict() == direct.to_dict()
+
+    def test_cumulative_buckets_end_at_total_count(self):
+        histogram = Histogram("c")
+        for value in (0.001, 0.001, 0.1):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        assert pairs[-1] == (math.inf, 3)
+        cumulative = [count for _, count in pairs]
+        assert cumulative == sorted(cumulative)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry registry: snapshot-key collision detection (regression)
+# ---------------------------------------------------------------------------
+class TestTelemetryCollisions:
+    def test_timer_suffix_cannot_shadow_counter(self):
+        telemetry = Telemetry()
+        telemetry.counter("engine_seconds").increment()
+        with pytest.raises(ValueError, match="engine_seconds"):
+            telemetry.timer("engine")
+
+    def test_counter_cannot_shadow_timer_suffix(self):
+        telemetry = Telemetry()
+        with telemetry.timer("engine"):
+            pass
+        with pytest.raises(ValueError, match="engine_count"):
+            telemetry.counter("engine_count")
+
+    def test_gauge_and_counter_cannot_share_a_name(self):
+        telemetry = Telemetry()
+        telemetry.gauge("depth").set(3)
+        with pytest.raises(ValueError, match="depth"):
+            telemetry.counter("depth")
+
+    def test_same_kind_reuse_returns_the_same_instance(self):
+        telemetry = Telemetry()
+        assert telemetry.counter("requests") is telemetry.counter("requests")
+        assert telemetry.timer("engine") is telemetry.timer("engine")
+        assert telemetry.gauge("depth") is telemetry.gauge("depth")
+
+    def test_snapshot_shape_is_unchanged(self):
+        telemetry = Telemetry()
+        telemetry.increment("requests", 2)
+        telemetry.timer("explain").add(0.5)
+        telemetry.gauge("depth").set(4)
+        snapshot = telemetry.snapshot()
+        assert snapshot == {
+            "requests": 2,
+            "explain_seconds": 0.5,
+            "explain_count": 1,
+            "depth": 4.0,
+        }
+
+    def test_every_timer_feeds_a_same_named_histogram(self):
+        telemetry = Telemetry()
+        telemetry.timer("engine").add(0.25)
+        summaries = telemetry.histogram_summaries()
+        assert summaries["engine"]["count"] == 1
+        assert summaries["engine"]["sum"] == pytest.approx(0.25)
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+class TestTracing:
+    def test_sample_rate_zero_yields_no_spans(self):
+        tracer = Tracer(sample_rate=0.0)
+        with maybe_trace(tracer, "root") as root:
+            assert root is None
+            assert current() is None
+        assert len(tracer.ring) == 0
+
+    def test_sampled_root_records_nested_child_spans(self):
+        tracer = Tracer(sample_rate=1.0, process="test")
+        with maybe_trace(tracer, "root", model="m"):
+            with span("child", tier="memory"):
+                pass
+        spans = tracer.ring.spans()
+        assert [s.name for s in spans] == ["child", "root"]
+        child, root = spans
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert root.parent_id is None
+        assert root.attrs == {"model": "m"}
+        assert child.process == "test"
+        assert child.duration_s >= 0.0
+
+    def test_span_outside_any_trace_is_a_no_op(self):
+        with span("orphan") as recorded:
+            assert recorded is None
+
+    def test_in_block_attrs_are_recorded(self):
+        tracer = Tracer(sample_rate=1.0)
+        with maybe_trace(tracer, "root"):
+            with span("lookup") as recorded:
+                recorded.attrs["tier"] = "disk"
+        assert tracer.ring.spans()[0].attrs == {"tier": "disk"}
+
+    def test_activate_restores_context_on_another_thread(self):
+        tracer = Tracer(sample_rate=1.0)
+        captured = {}
+
+        with maybe_trace(tracer, "root"):
+            ctx = current()
+
+            def worker():
+                assert current() is None
+                with activate(ctx):
+                    with span("threaded"):
+                        pass
+                captured["done"] = True
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert captured["done"]
+        names = [s.name for s in tracer.ring.spans()]
+        assert "threaded" in names
+
+    def test_wire_header_round_trip(self):
+        tracer = Tracer(sample_rate=1.0)
+        assert trace_wire_header() is None
+        with maybe_trace(tracer, "root"):
+            wire = trace_wire_header()
+            assert set(wire) == {"trace_id", "span_id"}
+            adopted = tracer.adopt(wire)
+            assert adopted.trace_id == wire["trace_id"]
+        assert tracer.adopt(None) is None
+        assert tracer.adopt({"trace_id": 7}) is None
+        assert tracer.adopt("garbage") is None
+
+    def test_span_serialization_round_trip(self):
+        original = Span(
+            trace_id="t", span_id="s", parent_id="p", name="n",
+            start_s=1.5, duration_s=0.25, process="serve", attrs={"k": 1})
+        assert Span.from_dict(original.to_dict()) == original
+
+    def test_ring_is_bounded_and_drains_oldest_first(self):
+        ring = SpanRing(capacity=3)
+        for index in range(5):
+            ring.record(Span("t", str(index), None, "n", 0.0, 0.0))
+        assert len(ring) == 3 and ring.recorded == 5
+        assert [s.span_id for s in ring.spans()] == ["2", "3", "4"]
+        drained = ring.drain(2)
+        assert [s.span_id for s in drained] == ["2", "3"]
+        assert len(ring) == 1
+
+    def test_tracer_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            SpanRing(capacity=0)
+
+
+class TestObsConfig:
+    def test_defaults_and_validation(self):
+        config = ObsConfig()
+        assert config.trace_sample_rate == 0.0
+        assert config.trace_ring_size == 2048
+        with pytest.raises(ValueError):
+            ObsConfig(trace_sample_rate=2.0)
+        with pytest.raises(ValueError):
+            ObsConfig(trace_ring_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+def _sample_registry() -> Telemetry:
+    telemetry = Telemetry()
+    telemetry.increment("requests", 5)
+    telemetry.increment("cache_hits[dcnn-t/explain]", 2)
+    telemetry.gauge("queue_depth[dcnn-t/explain]").set(3)
+    telemetry.gauge("load_factor").set(0.5)
+    telemetry.timer("engine").add(0.002)
+    telemetry.timer("engine").add(0.004)
+    telemetry.timer("flush_explain").add(0.01)
+    return telemetry
+
+
+class TestPrometheusExposition:
+    def test_golden_parse_and_reserialize_round_trip(self):
+        telemetry = _sample_registry()
+        text = render_prometheus(telemetry)
+        # Deterministic: rendering twice yields identical bytes.
+        assert text == render_prometheus(telemetry)
+        series = parse_prometheus(text)
+        assert series[("repro_requests_total", ())] == 5
+        assert series[("repro_cache_hits_total",
+                       (("kind", "explain"), ("model", "dcnn-t")))] == 2
+        assert series[("repro_queue_depth",
+                       (("kind", "explain"), ("model", "dcnn-t")))] == 3
+        assert series[("repro_load_factor", ())] == 0.5
+        assert series[("repro_engine_seconds_count", ())] == 2
+        assert series[("repro_engine_seconds_sum", ())] == pytest.approx(0.006)
+        # Histogram bucket lines: cumulative and capped by +Inf == count.
+        buckets = sorted(
+            (labels, value) for (name, labels), value in series.items()
+            if name == "repro_engine_seconds_bucket")
+        values = [value for _, value in buckets]
+        assert max(values) == 2
+        inf_rows = [value for labels, value in buckets
+                    if ("le", "+Inf") in labels]
+        assert inf_rows == [2]
+
+    def test_families_are_type_annotated_and_sorted(self):
+        text = render_prometheus(_sample_registry())
+        type_lines = [line for line in text.splitlines() if line.startswith("# TYPE")]
+        families = [line.split()[2] for line in type_lines]
+        kinds = [line.split()[3] for line in type_lines]
+        # counters, then gauges, then histograms — each block sorted.
+        blocks = {}
+        for family, kind in zip(families, kinds):
+            blocks.setdefault(kind, []).append(family)
+        for kind, names in blocks.items():
+            assert names == sorted(names), kind
+        assert blocks["counter"] == ["repro_cache_hits_total", "repro_requests_total"]
+        assert "repro_engine_seconds" in blocks["histogram"]
+
+    def test_content_negotiation_predicate(self):
+        assert not prometheus_requested(None)
+        assert not prometheus_requested("")
+        assert not prometheus_requested("application/json")
+        assert not prometheus_requested("*/*")
+        assert prometheus_requested("text/plain")
+        assert prometheus_requested(PROMETHEUS_CONTENT_TYPE)
+
+
+# ---------------------------------------------------------------------------
+# Sidecar /metrics HTTP server under concurrent writers
+# ---------------------------------------------------------------------------
+class TestMetricsHTTPServer:
+    def test_concurrent_writers_and_scrapes_stay_consistent(self):
+        telemetry = Telemetry()
+        tracer = Tracer(sample_rate=1.0, process="sidecar")
+        server = MetricsHTTPServer(telemetry, tracer=tracer).start()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                telemetry.increment("writes")
+                telemetry.timer("op").add(0.001)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            url = f"http://{server.address}/metrics"
+            last_writes = -1
+            for _ in range(10):
+                with urllib.request.urlopen(url, timeout=5) as response:
+                    payload = json.loads(response.read())
+                # Counters are monotone across scrapes and the timer's
+                # flat keys agree with its histogram summary.
+                assert payload["writes"] >= last_writes
+                last_writes = payload["writes"]
+                assert payload["op_count"] >= payload["histograms"]["op"]["count"] - 64
+                request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+                with urllib.request.urlopen(request, timeout=5) as response:
+                    assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                    series = parse_prometheus(response.read().decode("utf-8"))
+                assert series[("repro_writes_total", ())] >= last_writes
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            server.close()
+
+    def test_trace_and_healthz_endpoints(self):
+        telemetry = Telemetry()
+        tracer = Tracer(sample_rate=1.0, process="sidecar")
+        with maybe_trace(tracer, "root"):
+            pass
+        server = MetricsHTTPServer(telemetry, tracer=tracer).start()
+        try:
+            base = f"http://{server.address}"
+            with urllib.request.urlopen(f"{base}/trace", timeout=5) as response:
+                payload = json.loads(response.read())
+            assert [s["name"] for s in payload["spans"]] == ["root"]
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as response:
+                assert json.loads(response.read()) == {"status": "ok"}
+            request = urllib.request.Request(f"{base}/nope")
+            try:
+                urllib.request.urlopen(request, timeout=5)
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:  # pragma: no cover
+                raise AssertionError("expected 404")
+        finally:
+            server.close()
