@@ -13,8 +13,8 @@ dead remote costs one connect timeout per cooldown window, not per request.
 All remote traffic is counted into a shared
 :class:`~repro.telemetry.Telemetry` registry (``remote_hits`` /
 ``remote_misses`` / ``remote_puts`` / ``remote_errors`` /
-``remote_down_skips`` plus the ``remote_request`` timer), which the serving
-layer's ``/metrics`` endpoint surfaces.
+``remote_refusals`` / ``remote_down_skips`` plus the ``remote_request``
+timer), which the serving layer's ``/metrics`` endpoint surfaces.
 """
 
 from __future__ import annotations
@@ -236,6 +236,11 @@ class RemoteByteStore:
         try:
             with self.telemetry.timer("remote_request"):
                 return self._client.request(header, payload)
+        except RemoteRefusedError:
+            # A refusal proves the server is alive: degrade this one
+            # operation without disabling the tier for the whole cooldown.
+            self.telemetry.increment("remote_refusals")
+            return None
         except RemoteUnavailableError:
             self._mark_down()
             return None

@@ -56,12 +56,18 @@ class FleetConfig:
     #: Times one unit may be attempted (initial execution + re-queues after
     #: worker-reported failures or silent deaths) before the run fails.
     max_attempts: int = 3
+    #: Largest frame payload the coordinator's wire server will buffer
+    #: (``None``: :data:`repro.dist.protocol.DEFAULT_SERVER_MAX_PAYLOAD_BYTES`).
+    #: Raise it only when unit results genuinely exceed the default.
+    max_payload_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lease_timeout_s <= 0:
             raise ValueError("lease_timeout_s must be positive")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.max_payload_bytes is not None and self.max_payload_bytes <= 0:
+            raise ValueError("max_payload_bytes must be positive")
 
 
 class UnitFailedError(RuntimeError):
@@ -334,6 +340,7 @@ class FleetExecutor:
             port=self.config.port,
             telemetry=self.telemetry,
             process_label="fleet-coordinator",
+            max_payload_bytes=self.config.max_payload_bytes,
         )
         self._register_ops()
         self.server.start()

@@ -20,7 +20,13 @@ silently corrupt blob.
 
 Both sides enforce hard size bounds (:data:`MAX_HEADER_BYTES`,
 :data:`MAX_PAYLOAD_BYTES`): a malformed or hostile peer cannot make the
-receiver allocate unbounded memory.
+receiver allocate unbounded memory.  :data:`MAX_PAYLOAD_BYTES` is the frame
+*format's* ceiling; because :func:`recv_message` buffers the whole payload in
+memory, anything accepting connections should pass a much smaller
+``max_payload_bytes`` sized to its real traffic —
+:class:`~repro.dist.server.WireServer` defaults to
+:data:`DEFAULT_SERVER_MAX_PAYLOAD_BYTES` so one crafted frame header cannot
+demand a multi-GiB allocation per connection.
 
 Security model: the protocol authenticates nothing and the fleet layer
 exchanges *pickles* (executable on unpickle) — run servers and workers only
@@ -41,8 +47,14 @@ MAGIC = b"rD"
 
 #: Hard bound on the JSON header of one frame.
 MAX_HEADER_BYTES = 1 << 20
-#: Hard bound on the binary payload of one frame (result pickles, weights).
+#: Hard bound the frame format supports for one binary payload (result
+#: pickles, weights).  Receivers should usually enforce something far lower —
+#: see :data:`DEFAULT_SERVER_MAX_PAYLOAD_BYTES`.
 MAX_PAYLOAD_BYTES = 1 << 32
+#: Default receive bound for server roles (byte-store, coordinator): large
+#: enough for model-weight blobs and result pickles, small enough that an
+#: untrusted peer cannot demand gigabytes per connection.
+DEFAULT_SERVER_MAX_PAYLOAD_BYTES = 256 << 20
 
 
 class ProtocolError(RuntimeError):
@@ -89,15 +101,25 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
-    """Receive one frame; raises :class:`ProtocolError` on anything malformed."""
+def recv_message(
+    sock: socket.socket, max_payload_bytes: int = MAX_PAYLOAD_BYTES
+) -> Tuple[Dict[str, Any], bytes]:
+    """Receive one frame; raises :class:`ProtocolError` on anything malformed.
+
+    ``max_payload_bytes`` caps what this receiver will buffer — the check
+    runs before any payload allocation, so an oversized length in a crafted
+    frame header costs nothing but the dropped connection.
+    """
     magic, header_len, payload_len, crc = _PREFIX.unpack(_recv_exact(sock, _PREFIX.size))
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
     if header_len > MAX_HEADER_BYTES:
         raise ProtocolError(f"header length {header_len} exceeds the protocol bound")
-    if payload_len > MAX_PAYLOAD_BYTES:
-        raise ProtocolError(f"payload length {payload_len} exceeds the protocol bound")
+    if payload_len > min(max_payload_bytes, MAX_PAYLOAD_BYTES):
+        raise ProtocolError(
+            f"payload length {payload_len} exceeds this receiver's bound "
+            f"({min(max_payload_bytes, MAX_PAYLOAD_BYTES)} bytes)"
+        )
     try:
         header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:

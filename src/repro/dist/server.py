@@ -52,7 +52,9 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         while True:
             try:
-                header, payload = protocol.recv_message(sock)
+                header, payload = protocol.recv_message(
+                    sock, max_payload_bytes=server.wire.max_payload_bytes
+                )
             except (protocol.ProtocolError, OSError):
                 return  # client went away (or spoke garbage): drop the connection
             response, blob = server.wire.dispatch(header, payload)
@@ -101,8 +103,20 @@ class WireServer:
         telemetry: Optional[Telemetry] = None,
         process_label: str = "wire-server",
         trace_ring_size: int = 2048,
+        max_payload_bytes: Optional[int] = None,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: Per-connection receive bound: the server rejects (and drops the
+        #: connection of) any frame announcing a larger payload *before*
+        #: buffering it.  The protocol is unauthenticated, so this is the
+        #: only thing standing between a crafted frame header and a
+        #: multi-GiB allocation; raise it only for trusted deployments that
+        #: genuinely ship larger blobs.
+        self.max_payload_bytes = (
+            protocol.DEFAULT_SERVER_MAX_PAYLOAD_BYTES
+            if max_payload_bytes is None
+            else int(max_payload_bytes)
+        )
         # Server-side spans only ever *adopt* contexts carried in frame
         # headers (the sampling decision was made at the requesting edge),
         # so the tracer's own sample rate stays 0.
@@ -209,6 +223,7 @@ class ByteStoreServer:
         max_memory_bytes: Optional[int] = None,
         max_disk_bytes: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        max_payload_bytes: Optional[int] = None,
     ) -> None:
         self.store = TieredByteStore(
             directory=directory,
@@ -216,7 +231,13 @@ class ByteStoreServer:
             max_memory_bytes=max_memory_bytes,
             max_disk_bytes=max_disk_bytes,
         )
-        self.wire = WireServer(host=host, port=port, telemetry=telemetry, process_label="byte-store")
+        self.wire = WireServer(
+            host=host,
+            port=port,
+            telemetry=telemetry,
+            process_label="byte-store",
+            max_payload_bytes=max_payload_bytes,
+        )
         self.wire.register("get", self._handle_get)
         self.wire.register("put", self._handle_put)
         self.wire.register("contains", self._handle_contains)

@@ -1009,6 +1009,14 @@ def _add_byte_store_arguments(parser: argparse.ArgumentParser) -> None:
         help="LRU bound of the on-disk tier (default: unbounded)",
     )
     parser.add_argument(
+        "--max-payload-mb",
+        type=float,
+        metavar="MB",
+        help="largest frame payload the server buffers per connection; the "
+        "protocol is unauthenticated, so keep it near your largest real "
+        "blob (default: 256)",
+    )
+    parser.add_argument(
         "--metrics-port",
         type=int,
         metavar="PORT",
@@ -1027,6 +1035,9 @@ def _command_byte_store_server(args: argparse.Namespace) -> int:
         directory=args.directory,
         max_memory_bytes=int(args.memory_mb * 1024 * 1024),
         max_disk_bytes=None if args.disk_mb is None else int(args.disk_mb * 1024 * 1024),
+        max_payload_bytes=(
+            None if args.max_payload_mb is None else int(args.max_payload_mb * 1024 * 1024)
+        ),
     )
     metrics_server = _start_metrics_sidecar(args, server.wire.telemetry, server.wire.tracer)
     print(

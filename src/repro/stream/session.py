@@ -428,10 +428,14 @@ class StreamSession:
         stale_by = None if self._state_total is None else self._total - self._state_total
         if stale_by is None or stale_by >= width or self._inputs is None:
             self.stats["cold_starts"] += 1
+            slide = 0  # a >= b below: the CAM/M̄ caches rebuild, never shift
             self._inputs = self._prepared_inputs(self._ring.window())
             features, (a, b) = self._trunk.reset(self._inputs)
         else:
+            # Cache hits leave state behind, so the gap can be any multiple
+            # of hop: everything downstream must shift by the same amount.
             self.stats["incremental_hops"] += 1
+            slide = stale_by
             self._slide_inputs(self._ring.tail(stale_by))
             features, (a, b) = self._trunk.slide(self._inputs, stale_by)
         self._state_total = self._total
@@ -447,23 +451,28 @@ class StreamSession:
                     "heatmap": None, "success_ratio": None}
         class_id = self._explained_class(predicted)
         if self.family == "cam":
-            heatmap = self._update_cam(features, class_id, a, b)
+            heatmap = self._update_cam(features, class_id, a, b, slide)
             return {"logits": logits, "predicted": predicted, "class_id": class_id,
                     "heatmap": heatmap.copy(), "success_ratio": None}
-        dcam = self._update_dcam(features, class_id, a, b)
+        dcam = self._update_dcam(features, class_id, a, b, slide)
         predicted_all = logits_all.argmax(axis=1)
         n_correct = int((predicted_all == class_id).sum())
         return {"logits": logits, "predicted": predicted, "class_id": class_id,
                 "heatmap": dcam, "success_ratio": n_correct / len(self._orders)}
 
-    def _update_cam(self, features: np.ndarray, class_id: int, a: int, b: int) -> np.ndarray:
-        """Maintain the CAM heatmap, delta-updating when the class held."""
+    def _update_cam(
+        self, features: np.ndarray, class_id: int, a: int, b: int, slide: int
+    ) -> np.ndarray:
+        """Maintain the CAM heatmap, delta-updating when the class held.
+
+        ``slide`` is how far the trunk actually shifted this emission — the
+        accumulated gap after cache hits, not necessarily ``config.hop``.
+        """
         weights = self.model.class_weights[class_id]
         feats = features[0]
         if feats.shape[-2] == 1 and getattr(self.model, "input_kind", "raw") == "raw":
             feats = feats[:, 0, :]  # un-lift the 1D trunk: (F, W)
         width = feats.shape[-1]
-        hop = self.config.hop
         rebuild = (
             self._cam is None or a >= b or class_id != self._last_class
         )
@@ -472,7 +481,7 @@ class StreamSession:
                 self.stats["cam_rebuilds"] += 1
             self._cam = np.tensordot(weights, feats, axes=(0, 0))
         else:
-            self._cam[..., : width - hop] = self._cam[..., hop:]
+            self._cam[..., : width - slide] = self._cam[..., slide:]
             for lo, hi in ((0, a), (b, width)):
                 if lo < hi:
                     self._cam[..., lo:hi] = np.tensordot(
@@ -481,18 +490,21 @@ class StreamSession:
         self._last_class = class_id
         return self._cam
 
-    def _update_dcam(self, features: np.ndarray, class_id: int, a: int, b: int) -> np.ndarray:
+    def _update_dcam(
+        self, features: np.ndarray, class_id: int, a: int, b: int, slide: int
+    ) -> np.ndarray:
         """Maintain the permutation CAM stack and ``M̄``, then extract dCAM.
 
         CAMs depend on the explained class, so a class flip forces a full
         CAM/``M̄`` rebuild from the (still incremental) feature maps; while
         the class holds, only the dirty columns ``[0, a) ∪ [b, W)`` are
-        re-gathered.  The ``(k, D, D, dirty)`` merge scratch is small at
+        re-gathered.  ``slide`` is the trunk's actual shift this emission
+        (the accumulated gap after cache hits, not necessarily
+        ``config.hop``).  The ``(k, D, D, dirty)`` merge scratch is small at
         streaming scale, so no chunking (cf. ``_merge_cam_stack``).
         """
         k, n_dimensions = self._orders.shape
         width = self.window
-        hop = self.config.hop
         weights = np.broadcast_to(
             self.model.class_weights[class_id], (k, features.shape[1])
         )
@@ -506,8 +518,8 @@ class StreamSession:
             self._cams[...] = np.einsum("bf,bfdn->bdn", weights, features)
             self._m_bar[...] = self._cams[gather, self._rows].sum(axis=0) / k
         else:
-            self._cams[..., : width - hop] = self._cams[..., hop:]
-            self._m_bar[..., : width - hop] = self._m_bar[..., hop:]
+            self._cams[..., : width - slide] = self._cams[..., slide:]
+            self._m_bar[..., : width - slide] = self._m_bar[..., slide:]
             for lo, hi in ((0, a), (b, width)):
                 if lo < hi:
                     self._cams[..., lo:hi] = np.einsum(

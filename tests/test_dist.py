@@ -124,6 +124,18 @@ class TestProtocol:
             a.close()
             b.close()
 
+    def test_receiver_payload_bound_trips_before_allocation(self):
+        # A crafted frame header announcing a huge payload must be rejected
+        # on the preamble alone — no payload bytes are ever buffered.
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!2sIQI", MAGIC, 2, 1 << 30, 0) + b"{}")
+            with pytest.raises(ProtocolError, match="payload length"):
+                recv_message(b, max_payload_bytes=1 << 20)
+        finally:
+            a.close()
+            b.close()
+
     def test_parse_address(self):
         assert parse_address("example.org:7070") == ("example.org", 7070)
         assert parse_address(":7070") == ("127.0.0.1", 7070)
@@ -148,6 +160,22 @@ class TestWireServerClient:
             # client must surface it immediately instead of retrying.
             with pytest.raises(RemoteUnavailableError, match="unknown op"):
                 client.request({"op": "no-such-op"})
+            client.close()
+        finally:
+            server.close()
+
+    def test_server_enforces_its_payload_bound(self):
+        server = WireServer(max_payload_bytes=1024)
+        server.register("echo", lambda header, payload: ({"ok": True}, payload))
+        server.start()
+        try:
+            client = WireClient(RemoteStoreConfig(address=server.address, **FAST_REMOTE))
+            # Oversized frames cost the sender its connection, not the server
+            # a buffer; a compliant frame on a fresh connection still works.
+            with pytest.raises(RemoteUnavailableError):
+                client.request({"op": "echo"}, b"x" * 2048)
+            _, payload = client.request({"op": "echo"}, b"x" * 512)
+            assert payload == b"x" * 512
             client.close()
         finally:
             server.close()
@@ -181,6 +209,24 @@ class TestRemoteByteStore:
         store = RemoteByteStore(RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE))
         with pytest.raises(RemoteUnavailableError, match="invalid store key"):
             store._client.request({"op": "get", "key": "../escape"})
+        store.close()
+
+    def test_refusal_does_not_mark_healthy_server_down(self, byte_server):
+        # Regression: a refusal (server alive, operation rejected) used to be
+        # caught as a transport failure and start a down-cooldown, disabling
+        # the remote tier for every caller for down_cooldown_s.
+        telemetry = Telemetry()
+        store = RemoteByteStore(
+            RemoteStoreConfig(address=byte_server.address, **FAST_REMOTE),
+            telemetry=telemetry,
+        )
+        assert store.get("bad/key") is None
+        assert store.available
+        assert store.put("ok-key", b"v") and store.get("ok-key") == b"v"
+        counters = telemetry.snapshot()
+        assert counters["remote_refusals"] == 1
+        assert "remote_errors" not in counters
+        assert "remote_down_skips" not in counters
         store.close()
 
     def test_down_server_degrades_to_misses(self):

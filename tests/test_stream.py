@@ -10,6 +10,7 @@ weights.
 """
 
 import json
+import pickle
 
 import numpy as np
 import pytest
@@ -267,6 +268,46 @@ class TestCache:
         )
         assert incremental.stats["cache_hits"] > 0
         assert [r.cached for r in results].count(True) == incremental.stats["cache_hits"]
+        assert_emissions_match(results, oracle)
+
+    @pytest.mark.parametrize(
+        "cls,family",
+        [(DCNNClassifier, "dcam"), (CNNClassifier, "cam"), (CCNNClassifier, "cam")],
+    )
+    def test_mid_stream_hits_shift_by_accumulated_gap(self, cls, family):
+        # Regression: cache hits after a computed emission leave incremental
+        # state behind by a multiple of hop; the next miss slides the trunk
+        # and inputs by that accumulated gap, and the cached CAM/M̄ stacks
+        # must shift by the same amount (they used to shift by hop
+        # unconditionally, silently emitting misaligned heatmaps whenever
+        # hop < gap < window).
+        feed = make_feed(80)
+        kwargs = dict(hop=3, k=5, seed=2, explain_class=0)
+        oracle = run_stream(
+            StreamSession(make_model(cls), StreamConfig(engine="naive", **kwargs)), feed
+        )
+        # Seed the cache with ONLY emissions 2 and 3: the incremental session
+        # computes 0-1, hits 2-3, and resumes at 4 having to slide its state
+        # by 3 * hop = 9 < window columns.
+        from repro.nn.serialization import state_hash
+
+        cache = ExplanationCache()
+        h = state_hash(make_model(cls))
+        for r in (oracle[2], oracle[3]):
+            key = stream_window_key(
+                h, feed[:, r.t_start : r.t_end], family, 0,
+                kwargs["k"] if family == "dcam" else None,
+                kwargs["seed"] if family == "dcam" else None,
+            )
+            cache.put(key, pickle.dumps({
+                "logits": r.logits, "predicted": r.predicted,
+                "class_id": r.class_id, "heatmap": r.heatmap,
+                "success_ratio": r.success_ratio,
+            }))
+        session = StreamSession(make_model(cls), StreamConfig(**kwargs), cache=cache)
+        results = run_stream(session, feed)
+        assert session.stats["cache_hits"] == 2
+        assert session.stats["cold_starts"] == 1  # the gap slid, not reset
         assert_emissions_match(results, oracle)
 
     def test_key_depends_on_window_and_model(self):
